@@ -1,0 +1,86 @@
+"""Fig. 6 — forward-pass local (LAT) vs remote (RAT) aggregation scaling.
+
+Paper contracts: LAT scales near-linearly with sockets; RAT scales poorly
+(driven by replication); cd-0's RAT exceeds cd-5's (exposed wire time);
+0c has no RAT at all; for OGBN-Papers RAT dominates LAT.
+"""
+
+import pytest
+from bench_utils import emit, table
+
+from repro.core import DistributedTrainer, TrainConfig
+from repro.perf.epochmodel import DatasetScale, EpochModel, profiles_from_standin
+
+from bench_fig5_scaling import COUNTS, PAPER_SCALES
+
+
+def test_fig6_modeled_lat_rat(
+    reddit_bench, products_bench, proteins_bench, papers_bench, benchmark
+):
+    datasets = {
+        "reddit": reddit_bench,
+        "ogbn-products": products_bench,
+        "proteins": proteins_bench,
+        "ogbn-papers": papers_bench,
+    }
+    lines = []
+    checks = {}
+    for name, ds in datasets.items():
+        profiles = profiles_from_standin(ds.graph, COUNTS[name], seed=0)
+        model = EpochModel(PAPER_SCALES[name], profiles)
+        rows = []
+        for p in COUNTS[name]:
+            cd0 = model.breakdown(p, "cd-0")
+            cd5 = model.breakdown(p, "cd-5")
+            rows.append(
+                [
+                    p,
+                    round(cd0.lat_forward, 3),
+                    round(cd0.rat_total, 3),
+                    round(cd5.rat_total, 3),
+                ]
+            )
+        lines.append(f"--- {name} ---")
+        lines += table(["P", "LAT_s", "RAT_cd0_s", "RAT_cd5_s"], rows)
+        lines.append("")
+        checks[name] = rows
+    lines.append("contracts: LAT shrinks with P; RAT_cd0 > RAT_cd5;")
+    lines.append("OGBN-Papers RAT >= LAT (paper: RAT always higher there)")
+    emit("fig6_lat_rat", lines)
+
+    for name, rows in checks.items():
+        lats = [r[1] for r in rows]
+        assert lats == sorted(lats, reverse=True), f"{name}: LAT must shrink"
+        for r in rows:
+            assert r[2] >= r[3], f"{name}: cd-0 RAT must exceed cd-5 RAT"
+    papers_rows = checks["ogbn-papers"]
+    assert all(r[2] > r[1] for r in papers_rows), "Papers: RAT dominates LAT"
+
+    benchmark(
+        profiles_from_standin, reddit_bench.graph, (2, 4), 0
+    )
+
+
+def test_fig6_measured_lat_rat(products_bench, benchmark):
+    """Measured wall-clock LAT/RAT split from the executing trainer."""
+    cfg = TrainConfig(
+        num_layers=2, hidden_features=16, learning_rate=0.01, eval_every=0, seed=0
+    )
+    rows = []
+    for P in (2, 4, 8):
+        dt = DistributedTrainer(products_bench, P, algorithm="cd-0", config=cfg)
+        stats = dt.train_epoch(0)
+        rows.append(
+            [
+                P,
+                round(stats.local_agg_time_s * 1e3, 2),
+                round(stats.remote_agg_time_s * 1e3, 2),
+            ]
+        )
+    lines = table(["P", "LAT_ms/socket", "RAT_ms/socket"], rows)
+    emit("fig6_measured_lat_rat", lines)
+    # per-socket LAT must shrink as partitions shrink
+    assert rows[-1][1] < rows[0][1]
+
+    dt = DistributedTrainer(products_bench, 2, algorithm="cd-0", config=cfg)
+    benchmark(dt.train_epoch, 0)

@@ -1,0 +1,52 @@
+"""Table 2 — dataset statistics: paper scale vs stand-in scale."""
+
+from bench_utils import emit, table
+
+from repro.graph.datasets import PAPER_DATASET_STATS, load_dataset
+from repro.graph.utils import average_degree, density
+
+
+def test_table2_dataset_statistics(
+    reddit_bench, products_bench, proteins_bench, papers_bench, am_bench, benchmark
+):
+    datasets = {
+        "am": am_bench,
+        "reddit": reddit_bench,
+        "ogbn-products": products_bench,
+        "proteins": proteins_bench,
+        "ogbn-papers": papers_bench,
+    }
+    rows = []
+    for name, ds in datasets.items():
+        paper = PAPER_DATASET_STATS[name]
+        rows.append(
+            [
+                name,
+                paper.num_vertices,
+                paper.num_edges,
+                ds.num_vertices,
+                ds.num_edges,
+                round(average_degree(ds.graph), 1),
+                f"{density(ds.graph):.2e}",
+                ds.feature_dim,
+                ds.num_classes,
+            ]
+        )
+    lines = table(
+        [
+            "dataset",
+            "paper|V|",
+            "paper|E|",
+            "standin|V|",
+            "standin|E|",
+            "avg_deg",
+            "density",
+            "#feat",
+            "#class",
+        ],
+        rows,
+    )
+    emit("table2_datasets", lines)
+
+    # benchmark: generation cost of the densest stand-in
+    benchmark(load_dataset, "reddit", scale=0.1, seed=1)

@@ -1,0 +1,69 @@
+"""Table 4 — Libra replication factor vs partition count.
+
+Paper values (average clones per vertex):
+    Reddit:        1.75 2.94 4.66 6.93            (2..16)
+    OGBN-Products: 1.49 2.16 2.98 3.90 4.85 5.74  (2..64)
+    Proteins:      1.33 1.65 1.91 2.11 2.27 2.37  (2..64)
+    OGBN-Papers:   4.63 5.63 6.62                 (32..128)
+
+Contract: same ordering (Reddit worst, Proteins best) and the same
+concave growth with partition count.
+"""
+
+import pytest
+from bench_utils import emit, table
+
+from repro.partition import build_partitions, libra_partition, partition_stats
+
+PAPER = {
+    "reddit": {2: 1.75, 4: 2.94, 8: 4.66, 16: 6.93},
+    "ogbn-products": {2: 1.49, 4: 2.16, 8: 2.98, 16: 3.90, 32: 4.85, 64: 5.74},
+    "proteins": {2: 1.33, 4: 1.65, 8: 1.91, 16: 2.11, 32: 2.27, 64: 2.37},
+    "ogbn-papers": {32: 4.63, 64: 5.63, 128: 6.62},
+}
+
+
+def _measure(ds, counts):
+    out = {}
+    for p in counts:
+        asn = libra_partition(ds.graph, p, seed=0)
+        st = partition_stats(build_partitions(ds.graph, asn, p))
+        out[p] = (st.replication_factor, st.edge_balance)
+    return out
+
+
+def test_table4_replication_factor(
+    reddit_bench, products_bench, proteins_bench, papers_bench, benchmark
+):
+    datasets = {
+        "reddit": (reddit_bench, (2, 4, 8, 16)),
+        "ogbn-products": (products_bench, (2, 4, 8, 16, 32)),
+        "proteins": (proteins_bench, (2, 4, 8, 16, 32)),
+        "ogbn-papers": (papers_bench, (32, 64, 128)),
+    }
+    rows = []
+    measured = {}
+    for name, (ds, counts) in datasets.items():
+        m = _measure(ds, counts)
+        measured[name] = {p: rf for p, (rf, _) in m.items()}
+        for p in counts:
+            rf, bal = m[p]
+            rows.append([name, p, PAPER[name].get(p, "-"), round(rf, 2), round(bal, 3)])
+    lines = table(
+        ["dataset", "#partitions", "paper_rf", "measured_rf", "edge_balance"], rows
+    )
+    emit("table4_replication", lines)
+
+    # contracts
+    for name, vals in measured.items():
+        ps = sorted(vals)
+        for a, b in zip(ps, ps[1:]):
+            assert vals[a] < vals[b], f"{name}: rf must grow with partitions"
+    common = 8
+    assert (
+        measured["proteins"][common]
+        < measured["ogbn-products"][common]
+        < measured["reddit"][common]
+    ), "Proteins best, Reddit worst (paper ordering)"
+
+    benchmark(libra_partition, proteins_bench.graph, 8, 0)

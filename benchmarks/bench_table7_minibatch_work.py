@@ -1,0 +1,91 @@
+"""Table 7 — Dist-DGL sampled aggregation work per hop / batch / socket.
+
+Paper rows (OGBN-Products, batch 2000, fan-outs 15/10/5):
+    hop-0: 2,000 verts x 15 x 256   = 0.007 B ops
+    hop-1: 30,214 x 10 x 256        = 0.077 B ops
+    hop-2: 233,692 x 5 x 100        = 0.116 B ops
+    1 batch 0.202; 99 batches/socket -> 19.98; 16 sockets -> 1.41.
+"""
+
+import numpy as np
+import pytest
+from bench_utils import emit, table
+
+from repro.perf.minibatch import (
+    PRODUCTS_BATCH_SIZE,
+    PRODUCTS_FANOUTS,
+    PRODUCTS_MB_FEATURE_DIMS,
+    minibatch_epoch_work,
+    minibatch_hops,
+    sampled_frontier_sizes,
+)
+from repro.perf.workmodel import PRODUCTS_NUM_VERTICES
+
+PAPER_HOPS = [
+    ("Hop-0", 2_000, 15, 256, 0.007),
+    ("Hop-1", 30_214, 10, 256, 0.077),
+    ("Hop-2", 233_692, 5, 100, 0.116),
+]
+
+
+def test_table7_minibatch_work(products_bench, benchmark):
+    hops = minibatch_hops(
+        PRODUCTS_BATCH_SIZE,
+        PRODUCTS_FANOUTS,
+        PRODUCTS_MB_FEATURE_DIMS,
+        population=PRODUCTS_NUM_VERTICES,
+    )
+    rows = []
+    for (label, pv, pf, pd, pb), h in zip(PAPER_HOPS, hops):
+        rows.append(
+            [label, pv, int(h.num_vertices), pf, pd, pb, round(h.b_ops, 4)]
+        )
+    _, bops1, batches1 = minibatch_epoch_work(
+        PRODUCTS_BATCH_SIZE,
+        PRODUCTS_FANOUTS,
+        PRODUCTS_MB_FEATURE_DIMS,
+        population=PRODUCTS_NUM_VERTICES,
+        num_sockets=1,
+    )
+    _, bops16, batches16 = minibatch_epoch_work(
+        PRODUCTS_BATCH_SIZE,
+        PRODUCTS_FANOUTS,
+        PRODUCTS_MB_FEATURE_DIMS,
+        population=PRODUCTS_NUM_VERTICES,
+        num_sockets=16,
+    )
+    lines = table(
+        ["hop", "paper_verts", "model_verts", "fanout", "feats", "paper_Bops", "model_Bops"],
+        rows,
+    )
+    lines.append("")
+    lines.append(
+        f"1 socket: {batches1} batches, {bops1:.2f} B ops (paper: 99, 19.98)"
+    )
+    lines.append(
+        f"16 sockets: {batches16} batches, {bops16:.2f} B ops (paper: 7, 1.41)"
+    )
+
+    # empirical sampler on the stand-in graph for shape validation
+    rng = np.random.default_rng(0)
+    seeds = rng.choice(
+        products_bench.num_vertices, size=min(200, products_bench.num_vertices), replace=False
+    )
+    sizes = sampled_frontier_sizes(
+        products_bench.graph, seeds, PRODUCTS_FANOUTS, seed=0
+    )
+    lines.append(f"empirical stand-in frontier sizes (seeds=200): {sizes}")
+    emit("table7_minibatch_work", lines)
+
+    assert batches1 == 99 and batches16 == 7
+    assert bops1 == pytest.approx(19.98, rel=0.2)
+    # frontier grows then saturates by dedup
+    assert sizes[1] > sizes[0]
+
+    benchmark(
+        minibatch_epoch_work,
+        PRODUCTS_BATCH_SIZE,
+        PRODUCTS_FANOUTS,
+        PRODUCTS_MB_FEATURE_DIMS,
+        PRODUCTS_NUM_VERTICES,
+    )

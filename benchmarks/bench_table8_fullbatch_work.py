@@ -1,0 +1,45 @@
+"""Table 8 — DistGNN full-batch aggregation work per hop and per socket.
+
+Paper rows (OGBN-Products): 1 socket 12.61 + 32.29 + 32.29 = 77.19 B ops;
+16 sockets (596,499 clone-inclusive vertices each) total 18.80 B ops.
+"""
+
+import pytest
+from bench_utils import emit, table
+
+from repro.perf.workmodel import (
+    PRODUCTS_AVG_DEGREE,
+    PRODUCTS_FEATURE_DIMS,
+    full_batch_work,
+    products_full_batch_bops,
+    products_partition_vertices,
+)
+
+PAPER = {1: 77.19, 16: 18.80}
+
+
+def test_table8_fullbatch_work(benchmark):
+    lines = []
+    for sockets in (1, 16):
+        verts = products_partition_vertices(sockets)
+        layers = full_batch_work(verts, PRODUCTS_AVG_DEGREE, PRODUCTS_FEATURE_DIMS)
+        rows = [
+            [f"Hop-{l.hop}", int(l.num_vertices), l.avg_degree, l.feature_dim, round(l.b_ops, 2)]
+            for l in layers
+        ]
+        total = products_full_batch_bops(sockets)
+        lines.append(f"--- {sockets} socket(s) ---")
+        lines += table(["hop", "verts/partition", "avg_deg", "feats", "B_ops"], rows)
+        lines.append(f"full batch total: {total:.2f} B ops (paper: {PAPER[sockets]})")
+        lines.append("")
+    ratio = products_full_batch_bops(1) / 19.98
+    lines.append(
+        f"full-batch vs sampled work ratio at 1 socket: {ratio:.1f}x "
+        "(paper: ~4x more work, 77.19/19.98)"
+    )
+    emit("table8_fullbatch_work", lines)
+
+    assert products_full_batch_bops(1) == pytest.approx(77.19, rel=0.01)
+    assert products_full_batch_bops(16) == pytest.approx(18.80, rel=0.02)
+
+    benchmark(products_full_batch_bops, 16)

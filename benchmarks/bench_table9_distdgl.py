@@ -1,0 +1,89 @@
+"""Table 9 — epoch time: Dist-DGL (sampled) vs DistGNN cd-5 (full batch).
+
+Paper (OGBN-Products): Dist-DGL 20s / 1.5s at 1 / 16 sockets; DistGNN
+cd-5 11s / 1.9s.  The paper's point: full-batch DistGNN does ~4x the
+aggregation work yet is comparable or faster, because sampled training
+pays for neighbour sampling and random feature gathers.
+
+Model: DistGNN from the Fig.-5 epoch model; Dist-DGL = sampled
+aggregation (roofline at gather efficiency) + per-sampled-edge sampling
+cost + per-batch feature-fetch traffic.
+"""
+
+import pytest
+from bench_utils import emit, table
+
+from repro.perf.epochmodel import DatasetScale, EpochModel, profiles_from_standin
+from repro.perf.hardware import XEON_9242
+from repro.perf.minibatch import (
+    PRODUCTS_BATCH_SIZE,
+    PRODUCTS_FANOUTS,
+    PRODUCTS_MB_FEATURE_DIMS,
+    minibatch_epoch_work,
+    minibatch_hops,
+)
+from repro.perf.workmodel import PRODUCTS_NUM_VERTICES
+
+#: cost of drawing one sampled edge (hash lookups + RNG + remote fetch
+#: amortization) — the paper calls Dist-DGL's sampling "inefficient".
+SAMPLING_COST_PER_EDGE_S = 1.2e-7
+
+PAPER = {1: (20.0, 11.0), 16: (1.5, 1.9)}  # (dist-dgl, distgnn cd-5)
+
+
+def _distdgl_epoch_time(num_sockets: int) -> float:
+    hops, _, batches = minibatch_epoch_work(
+        PRODUCTS_BATCH_SIZE,
+        PRODUCTS_FANOUTS,
+        PRODUCTS_MB_FEATURE_DIMS,
+        population=PRODUCTS_NUM_VERTICES,
+        num_sockets=num_sockets,
+    )
+    sampled_edges = sum(h.num_vertices * h.fanout for h in hops)
+    sampling = sampled_edges * SAMPLING_COST_PER_EDGE_S
+    # aggregation at gather-bound efficiency + feature fetch of the frontier
+    agg_flops = sum(h.ops for h in hops)
+    agg = agg_flops / (XEON_9242.peak_flops * 0.05)  # random-access SpMM
+    fetch_bytes = sum(h.num_vertices * h.feature_dim * 4 for h in hops)
+    fetch = fetch_bytes / (XEON_9242.mem_bw_Bps * 0.2)
+    return batches * (sampling + agg + fetch)
+
+
+def test_table9_distdgl_comparison(products_bench, benchmark):
+    scale = DatasetScale(
+        "ogbn-products", PRODUCTS_NUM_VERTICES, 123_718_280, 100, (256, 256), 47,
+        cache_reuse=2.0,
+    )
+    profiles = profiles_from_standin(products_bench.graph, (2, 4, 8, 16), seed=0)
+    model = EpochModel(scale, profiles)
+
+    rows = []
+    ours = {}
+    for sockets in (1, 16):
+        dgl_t = _distdgl_epoch_time(sockets)
+        gnn_t = (
+            model.single_socket_time()
+            if sockets == 1
+            else model.breakdown(16, "cd-5").total
+        )
+        ours[sockets] = (dgl_t, gnn_t)
+        p_dgl, p_gnn = PAPER[sockets]
+        rows.append(
+            [sockets, round(dgl_t, 2), p_dgl, round(gnn_t, 2), p_gnn]
+        )
+    lines = table(
+        ["#sockets", "DistDGL_model_s", "paper", "DistGNN_cd5_model_s", "paper"],
+        rows,
+    )
+    lines.append("")
+    lines.append("contract: comparable epoch times despite ~4x aggregation work,")
+    lines.append("DistGNN ahead at 1 socket; gap closes by 16 sockets")
+    emit("table9_distdgl", lines)
+
+    dgl1, gnn1 = ours[1]
+    dgl16, gnn16 = ours[16]
+    assert gnn1 < dgl1, "full-batch DistGNN should win at 1 socket (paper 11 vs 20)"
+    # at 16 sockets they are comparable (within ~4x either way)
+    assert 0.25 < gnn16 / dgl16 < 4.0
+
+    benchmark(_distdgl_epoch_time, 16)

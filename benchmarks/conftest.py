@@ -1,0 +1,35 @@
+"""Benchmark fixtures: medium-scale stand-in datasets, session-cached."""
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import pytest
+
+from repro.graph.datasets import load_dataset
+
+
+@pytest.fixture(scope="session")
+def reddit_bench():
+    return load_dataset("reddit", scale=0.35, seed=0)
+
+
+@pytest.fixture(scope="session")
+def products_bench():
+    return load_dataset("ogbn-products", scale=0.3, seed=0)
+
+
+@pytest.fixture(scope="session")
+def proteins_bench():
+    return load_dataset("proteins", scale=0.25, seed=0)
+
+
+@pytest.fixture(scope="session")
+def papers_bench():
+    return load_dataset("ogbn-papers", scale=0.2, seed=0)
+
+
+@pytest.fixture(scope="session")
+def am_bench():
+    return load_dataset("am", scale=0.3, seed=0)

@@ -1,0 +1,66 @@
+"""Mini-batch (Dist-DGL style) vs full-batch (DistGNN) training.
+
+The executable version of the paper's Tables 7-9 argument: sampled
+training does far less aggregation work per epoch, but pays sampling and
+remote-feature-fetch costs and converges through noisier gradients;
+full-batch DistGNN does complete-neighbourhood aggregation with DRPA
+communication management.  This script runs both on the same stand-in
+and reports accuracy, measured work, and communication.
+
+Run:  python examples/minibatch_vs_fullbatch.py [--epochs 20]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import load_dataset
+from repro.core import DistributedTrainer, TrainConfig
+from repro.sampling import DistMiniBatchTrainer
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="ogbn-products")
+    parser.add_argument("--scale", type=float, default=0.12)
+    parser.add_argument("--ranks", type=int, default=4)
+    parser.add_argument("--epochs", type=int, default=20)
+    args = parser.parse_args()
+
+    ds = load_dataset(args.dataset, scale=args.scale, seed=0)
+    print(f"loaded {ds.summary()}\n")
+    cfg = TrainConfig(
+        num_layers=3, hidden_features=32, learning_rate=0.01, eval_every=0, seed=0
+    )
+
+    print(f"[full-batch DistGNN cd-5, {args.ranks} ranks]")
+    full = DistributedTrainer(ds, args.ranks, algorithm="cd-5", config=cfg)
+    fres = full.fit(num_epochs=args.epochs)
+    full_work = 0
+    dims = [ds.feature_dim] + [cfg.hidden_features] * (cfg.num_layers - 1)
+    full_work = sum(ds.num_edges * d for d in dims) * args.epochs
+    print(
+        f"  test acc {fres.final_test_acc:.4f} | comm "
+        f"{fres.total_comm_bytes / 1e6:.1f} MB | aggregation work "
+        f"{full_work / 1e9:.2f} B ops"
+    )
+
+    print(f"\n[mini-batch Dist-DGL style, {args.ranks} ranks, fanouts 10/10/10]")
+    mini = DistMiniBatchTrainer(
+        ds, args.ranks, fanouts=[10] * cfg.num_layers, batch_size=256, config=cfg
+    )
+    mres = mini.fit(num_epochs=args.epochs)
+    comm = sum(e.comm_bytes for e in mres.epochs)
+    print(
+        f"  test acc {mres.final_test_acc:.4f} | comm {comm / 1e6:.1f} MB "
+        "(remote feature fetches + per-batch AllReduce)"
+    )
+    print(
+        "\npaper contract (Tables 7-9): full-batch does several times more "
+        "\naggregation work per epoch yet remains time-competitive, because "
+        "\nsampled training pays sampling, random gathers, and remote fetches."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Vertex-cut partitioning analysis (paper Table 4 in miniature).
+
+Partitions every dataset stand-in with Libra across a range of partition
+counts and reports the replication factor, edge balance, and the cd-0
+communication volume each partitioning implies — then contrasts Libra
+against random edge placement to show why partitioner quality matters.
+
+Run:  python examples/partitioning_analysis.py [--scale 0.2]
+"""
+
+import argparse
+
+from repro import load_dataset
+from repro.partition import (
+    build_partitions,
+    libra_partition,
+    partition_stats,
+    random_edge_partition,
+)
+from repro.partition.stats import communication_volume
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.15)
+    parser.add_argument(
+        "--partitions", type=int, nargs="+", default=[2, 4, 8, 16]
+    )
+    args = parser.parse_args()
+
+    for name in ("reddit", "ogbn-products", "proteins"):
+        ds = load_dataset(name, scale=args.scale, seed=0)
+        print(f"\n=== {ds.summary()} ===")
+        print(
+            f"{'P':>4} {'libra rf':>9} {'random rf':>10} {'edge bal':>9} "
+            f"{'split %':>8} {'cd-0 comm MB/layer':>19}"
+        )
+        for p in args.partitions:
+            libra = build_partitions(
+                ds.graph, libra_partition(ds.graph, p, seed=0), p
+            )
+            rand = build_partitions(
+                ds.graph, random_edge_partition(ds.graph, p, seed=0), p
+            )
+            st = partition_stats(libra)
+            vol = communication_volume(libra, ds.feature_dim) / 1e6
+            print(
+                f"{p:>4} {st.replication_factor:>9.2f} "
+                f"{partition_stats(rand).replication_factor:>10.2f} "
+                f"{st.edge_balance:>9.3f} "
+                f"{100 * st.split_vertex_fraction:>7.1f}% {vol:>19.2f}"
+            )
+    print(
+        "\npaper contract: Proteins partitions cleanest (natural clusters), "
+        "Reddit worst (dense);\nreplication — and hence communication — grows "
+        "concavely with partition count."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` on old setuptools needs
+``bdist_wheel``; offline boxes can instead run ``python setup.py develop``
+(see README).  Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

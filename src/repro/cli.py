@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``       dataset stand-in statistics (Table 2 style).
+``partition``  run Libra (or a baseline) and report partition quality.
+``train``      full-batch training, single-socket or distributed with any
+               DRPA algorithm.
+``sample``     mini-batch (Dist-DGL style) training.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DistGNN reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="dataset statistics")
+    _dataset_args(p_info)
+
+    p_part = sub.add_parser("partition", help="partition a dataset graph")
+    _dataset_args(p_part)
+    p_part.add_argument("--partitions", type=int, default=4)
+    p_part.add_argument(
+        "--partitioner", choices=("libra", "random", "hash"), default="libra"
+    )
+
+    p_train = sub.add_parser("train", help="full-batch training")
+    _dataset_args(p_train)
+    p_train.add_argument("--epochs", type=int, default=50)
+    p_train.add_argument("--lr", type=float, default=0.01)
+    p_train.add_argument("--partitions", type=int, default=1)
+    p_train.add_argument(
+        "--algorithm", default="cd-0", help="0c | cd-0 | cd-<r> (when partitions > 1)"
+    )
+    p_train.add_argument(
+        "--compression", choices=("none", "fp16", "bf16"), default="none"
+    )
+    p_train.add_argument("--checkpoint", default=None, help="save final state here")
+
+    p_sample = sub.add_parser("sample", help="mini-batch training")
+    _dataset_args(p_sample)
+    p_sample.add_argument("--epochs", type=int, default=10)
+    p_sample.add_argument("--lr", type=float, default=0.01)
+    p_sample.add_argument("--batch-size", type=int, default=256)
+    p_sample.add_argument(
+        "--fanouts", type=int, nargs="+", default=None,
+        help="one fanout per layer (default: 10 per layer)",
+    )
+    return parser
+
+
+def _dataset_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--dataset", default="ogbn-products")
+    p.add_argument("--scale", type=float, default=0.15)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _load(args):
+    from repro.graph.datasets import load_dataset
+
+    return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+
+
+def cmd_info(args) -> int:
+    from repro.graph.datasets import PAPER_DATASET_STATS
+    from repro.graph.utils import average_degree, density
+
+    ds = _load(args)
+    print(ds.summary())
+    print(f"density      : {density(ds.graph):.3e}")
+    print(f"avg degree   : {average_degree(ds.graph):.1f}")
+    paper = PAPER_DATASET_STATS.get(ds.name)
+    if paper:
+        print(
+            f"paper scale  : |V|={paper.num_vertices:,} |E|={paper.num_edges:,} "
+            f"d={paper.num_features} classes={paper.num_classes}"
+        )
+    return 0
+
+
+def cmd_partition(args) -> int:
+    from repro.partition import (
+        build_partitions,
+        hash_edge_partition,
+        libra_partition,
+        partition_stats,
+        random_edge_partition,
+    )
+
+    ds = _load(args)
+    if args.partitioner == "libra":
+        asn = libra_partition(ds.graph, args.partitions, seed=args.seed)
+    elif args.partitioner == "random":
+        asn = random_edge_partition(ds.graph, args.partitions, seed=args.seed)
+    else:
+        asn = hash_edge_partition(ds.graph, args.partitions)
+    st = partition_stats(build_partitions(ds.graph, asn, args.partitions))
+    print(f"{args.partitioner} over {ds.name} ({args.partitions} partitions):")
+    print(f"  replication factor : {st.replication_factor:.3f}")
+    print(f"  edge balance       : {st.edge_balance:.3f}")
+    print(f"  split vertices     : {100 * st.split_vertex_fraction:.1f}%")
+    print(f"  edges min/max      : {st.min_edges} / {st.max_edges}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    from repro.core import DistributedTrainer, TrainConfig, Trainer
+    from repro.core.checkpoint import save_checkpoint
+
+    ds = _load(args)
+    cfg = TrainConfig(
+        learning_rate=args.lr,
+        eval_every=max(args.epochs // 5, 1),
+        seed=args.seed,
+        compression=args.compression,
+    ).for_dataset(ds.name)
+    if args.partitions <= 1:
+        trainer = Trainer(ds, cfg)
+        result = trainer.fit(num_epochs=args.epochs, verbose=True)
+        model, opt = trainer.model, trainer.optimizer
+    else:
+        trainer = DistributedTrainer(
+            ds, args.partitions, algorithm=args.algorithm, config=cfg
+        )
+        result = trainer.fit(num_epochs=args.epochs, verbose=True)
+        model, opt = trainer.ranks[0].model, trainer.ranks[0].optimizer
+        print(f"replication factor : {result.replication_factor:.2f}")
+        print(f"total comm         : {result.total_comm_bytes / 1e6:.1f} MB")
+    print(f"final test accuracy: {result.final_test_acc:.4f}")
+    if args.checkpoint:
+        save_checkpoint(args.checkpoint, model, opt, epoch=args.epochs)
+        print(f"checkpoint written : {args.checkpoint}")
+    return 0
+
+
+def cmd_sample(args) -> int:
+    from repro.core import TrainConfig
+    from repro.sampling import MiniBatchTrainer
+
+    ds = _load(args)
+    cfg = TrainConfig(
+        learning_rate=args.lr, eval_every=0, seed=args.seed
+    ).for_dataset(ds.name)
+    fanouts = args.fanouts or [10] * cfg.num_layers
+    trainer = MiniBatchTrainer(
+        ds, fanouts=fanouts, batch_size=args.batch_size, config=cfg
+    )
+    result = trainer.fit(num_epochs=args.epochs, verbose=True)
+    print(f"final test accuracy: {result.final_test_acc:.4f}")
+    print(f"sampled work       : {trainer.total_work_ops / 1e9:.3f} B ops")
+    return 0
+
+
+COMMANDS = {
+    "info": cmd_info,
+    "partition": cmd_partition,
+    "train": cmd_train,
+    "sample": cmd_sample,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

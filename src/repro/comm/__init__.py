@@ -1,0 +1,50 @@
+"""Simulated distributed runtime.
+
+The paper runs one MPI rank per CPU socket with Intel OneCCL collectives
+(AlltoAll for partial aggregates, AllReduce for parameter sync).  We have
+no cluster, so this package provides an in-process **simulated MPI world**
+that executes the same communication *semantics* deterministically:
+
+- :mod:`repro.comm.communicator` — the :class:`World` of ranks and the
+  per-rank :class:`Communicator` handles.
+- :mod:`repro.comm.collectives` — AlltoAll(v), AllReduce, AllGather,
+  Broadcast over NumPy buffers (lockstep barrier semantics).
+- :mod:`repro.comm.async_queue` — epoch-delayed message delivery: a
+  message posted at epoch ``e`` becomes visible at epoch ``e + delay``,
+  which is exactly the staleness contract of cd-r (Alg. 4).
+- :mod:`repro.comm.counters` — per-rank byte/message accounting feeding
+  the cost models.
+- :mod:`repro.comm.netmodel` — latency/bandwidth network model (HDR-class
+  defaults) converting counted bytes into simulated communication time.
+
+Every collective counts the bytes it would move on a real network, so the
+benchmark harness can report modelled communication time next to the
+algorithmic results.
+"""
+
+from repro.comm.async_queue import DelayedQueue, Message
+from repro.comm.collectives import (
+    all_gather,
+    all_reduce,
+    all_to_all,
+    all_to_allv,
+    broadcast,
+)
+from repro.comm.communicator import Communicator, World
+from repro.comm.counters import CommCounters
+from repro.comm.netmodel import NetworkModel, HDR_200G
+
+__all__ = [
+    "World",
+    "Communicator",
+    "all_reduce",
+    "all_gather",
+    "all_to_all",
+    "all_to_allv",
+    "broadcast",
+    "DelayedQueue",
+    "Message",
+    "CommCounters",
+    "NetworkModel",
+    "HDR_200G",
+]

@@ -1,0 +1,107 @@
+"""Simulated MPI world.
+
+A :class:`World` owns ``num_ranks`` mailbox sets, the byte counters, and
+the delayed-delivery queue; each rank gets a :class:`Communicator` handle
+(the moral equivalent of its ``MPI_COMM_WORLD``).  All ranks execute in
+one process, driven in lockstep by the distributed trainer, so collective
+calls are implemented as functions over the world state rather than
+blocking rendezvous — the *ordering* guarantees are identical to the MPI
+program the paper runs (collectives act as epoch barriers, async messages
+deliver ``delay`` epochs later).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.comm.async_queue import DelayedQueue, Message
+from repro.comm.counters import CommCounters
+
+
+class World:
+    """All-rank shared state of the simulated cluster."""
+
+    def __init__(self, num_ranks: int):
+        if num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        self.num_ranks = num_ranks
+        self.counters = CommCounters(num_ranks)
+        self.queue = DelayedQueue(num_ranks)
+        self._epoch = 0
+
+    # -- epoch clock ---------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Current epoch of the lockstep clock (drives delayed delivery)."""
+        return self._epoch
+
+    def advance_epoch(self) -> int:
+        """Advance the world clock; called once per training epoch."""
+        self._epoch += 1
+        return self._epoch
+
+    def reset_epoch(self) -> None:
+        self._epoch = 0
+        self.queue.clear()
+
+    # -- rank handles ----------------------------------------------------------
+
+    def communicator(self, rank: int) -> "Communicator":
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.num_ranks})")
+        return Communicator(world=self, rank=rank)
+
+    def communicators(self) -> List["Communicator"]:
+        return [self.communicator(r) for r in range(self.num_ranks)]
+
+
+@dataclass
+class Communicator:
+    """Per-rank handle (rank id + world reference)."""
+
+    world: World
+    rank: int
+
+    @property
+    def size(self) -> int:
+        return self.world.num_ranks
+
+    # -- point-to-point (async, epoch-delayed) -------------------------------
+
+    def isend(
+        self,
+        dst: int,
+        payload: np.ndarray,
+        tag: Any = None,
+        delay: int = 0,
+    ) -> None:
+        """Post an asynchronous message.
+
+        The message becomes receivable at world epoch ``posted_epoch +
+        delay``.  ``delay=0`` models a same-epoch exchange (cd-0's wait);
+        ``delay=r`` models cd-r's deferred processing.
+        """
+        nbytes = int(np.asarray(payload).nbytes)
+        self.world.counters.record_p2p(self.rank, dst, nbytes)
+        self.world.queue.post(
+            Message(
+                src=self.rank,
+                dst=dst,
+                tag=tag,
+                payload=payload,
+                post_epoch=self.world.epoch,
+                deliver_epoch=self.world.epoch + delay,
+            )
+        )
+
+    def recv_ready(self, tag: Any = None) -> List[Message]:
+        """Drain all messages for this rank deliverable at the current epoch."""
+        return self.world.queue.drain(self.rank, self.world.epoch, tag=tag)
+
+    def pending_count(self, tag: Any = None) -> int:
+        """Messages posted to this rank but not yet deliverable."""
+        return self.world.queue.pending(self.rank, self.world.epoch, tag=tag)

@@ -1,0 +1,33 @@
+"""DistGNN core: training loops and the DRPA distributed algorithms.
+
+- :mod:`repro.core.config` — training configuration (paper hyper-params).
+- :mod:`repro.core.metrics` — epoch statistics, timers, results.
+- :mod:`repro.core.trainer` — single-socket full-batch trainer (the
+  paper's optimized baseline of Fig. 2).
+- :mod:`repro.core.drpa` — the Delayed Remote Partial Aggregates state
+  machine (paper Alg. 4): per-rank gather / async send / scatter-reduce /
+  scatter plumbing over the split-vertex trees.
+- :mod:`repro.core.algorithms` — the three communication regimes ``0c``,
+  ``cd-0``, ``cd-r`` as strategy objects configuring DRPA.
+- :mod:`repro.core.dist_trainer` — lockstep data-parallel trainer driving
+  one model replica per rank with per-layer DRPA synchronization and
+  AllReduce parameter sync.
+"""
+
+from repro.core.algorithms import ALGORITHMS, AlgorithmSpec, get_algorithm
+from repro.core.config import TrainConfig
+from repro.core.dist_trainer import DistributedTrainer, DistTrainResult
+from repro.core.metrics import EpochStats, TrainResult
+from repro.core.trainer import Trainer
+
+__all__ = [
+    "TrainConfig",
+    "Trainer",
+    "DistributedTrainer",
+    "TrainResult",
+    "DistTrainResult",
+    "EpochStats",
+    "AlgorithmSpec",
+    "ALGORITHMS",
+    "get_algorithm",
+]

@@ -1,0 +1,104 @@
+"""Model/optimizer checkpointing.
+
+Full-batch training at paper scale runs 200–300 epochs (Table 5); a
+production run needs restartability.  Checkpoints store model weights,
+optimizer slots (Adam moments / SGD velocity), and the epoch cursor in
+one compressed ``.npz``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.optim import Adam, Optimizer, SGD
+
+_FORMAT_VERSION = 1
+
+
+def save_checkpoint(
+    path: str,
+    model: Module,
+    optimizer: Optional[Optimizer] = None,
+    epoch: int = 0,
+    extra: Optional[Dict[str, np.ndarray]] = None,
+) -> None:
+    """Persist training state to ``path`` (``.npz``)."""
+    payload: Dict[str, np.ndarray] = {
+        "format_version": np.asarray(_FORMAT_VERSION),
+        "epoch": np.asarray(epoch),
+    }
+    for name, arr in model.state_dict().items():
+        payload[f"model/{name}"] = arr
+    if optimizer is not None:
+        for key, arr in _optimizer_state(optimizer).items():
+            payload[f"optim/{key}"] = arr
+    for key, arr in (extra or {}).items():
+        payload[f"extra/{key}"] = np.asarray(arr)
+    np.savez_compressed(path, **payload)
+
+
+def load_checkpoint(
+    path: str,
+    model: Module,
+    optimizer: Optional[Optimizer] = None,
+) -> Tuple[int, Dict[str, np.ndarray]]:
+    """Restore training state; returns ``(epoch, extra_arrays)``."""
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    with np.load(path) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {version}")
+        state = {
+            k[len("model/") :]: data[k]
+            for k in data.files
+            if k.startswith("model/")
+        }
+        model.load_state_dict(state)
+        if optimizer is not None:
+            opt_state = {
+                k[len("optim/") :]: data[k]
+                for k in data.files
+                if k.startswith("optim/")
+            }
+            _restore_optimizer(optimizer, opt_state)
+        extra = {
+            k[len("extra/") :]: data[k]
+            for k in data.files
+            if k.startswith("extra/")
+        }
+        return int(data["epoch"]), extra
+
+
+def _optimizer_state(opt: Optimizer) -> Dict[str, np.ndarray]:
+    """Serialize optimizer slots positionally (parameter order is the
+    module-traversal order, which is deterministic)."""
+    state: Dict[str, np.ndarray] = {}
+    if isinstance(opt, Adam):
+        state["t"] = np.asarray(opt._t)
+        for i, p in enumerate(opt.params):
+            if id(p) in opt._m:
+                state[f"m/{i}"] = opt._m[id(p)]
+                state[f"v/{i}"] = opt._v[id(p)]
+    elif isinstance(opt, SGD):
+        for i, p in enumerate(opt.params):
+            if id(p) in opt._velocity:
+                state[f"vel/{i}"] = opt._velocity[id(p)]
+    return state
+
+
+def _restore_optimizer(opt: Optimizer, state: Dict[str, np.ndarray]) -> None:
+    if isinstance(opt, Adam):
+        opt._t = int(state.get("t", 0))
+        for i, p in enumerate(opt.params):
+            if f"m/{i}" in state:
+                opt._m[id(p)] = state[f"m/{i}"].copy()
+                opt._v[id(p)] = state[f"v/{i}"].copy()
+    elif isinstance(opt, SGD):
+        for i, p in enumerate(opt.params):
+            if f"vel/{i}" in state:
+                opt._velocity[id(p)] = state[f"vel/{i}"].copy()

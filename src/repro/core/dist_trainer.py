@@ -1,0 +1,400 @@
+"""Lockstep distributed trainer — DistGNN's data-parallel training loop.
+
+One model replica per rank, the input graph vertex-cut partitioned, and
+per-layer DRPA synchronization of split-vertex partial aggregates.  All
+ranks execute in one process, phase by phase, which preserves the MPI
+program's ordering semantics (collectives as barriers, cd-r messages
+delivered ``r`` epochs late) while staying deterministic.
+
+Per-layer segmented autograd
+----------------------------
+The forward pass of each layer is split at the aggregation output so the
+remote partials can be injected between the two autograd segments::
+
+    segment A:  z      = spmm(A_p, h_in)         (local partial aggregate)
+    DRPA    :   z.data <- sync(z.data)            (0c: skip; cd-0: full;
+                                                   cd-r: stale/binned)
+    segment B:  h_out  = act(((z' + h_in) * norm) @ W + b)
+
+Backward runs the segments in reverse, and for cd-0 tree-sums the
+aggregate gradients between the segments — the exact adjoint of the
+forward sync (every clone of a split vertex then applies the total
+gradient).  Combined with the global-count loss normalization and the
+sum-AllReduce of weight gradients, cd-0 training is mathematically
+identical to single-socket training; 0c and cd-r inherit their forward
+freshness contracts in backward (remote contributions are constants).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.comm.communicator import World
+from repro.core.algorithms import AlgorithmSpec, get_algorithm
+from repro.core.config import TrainConfig
+from repro.core.drpa import DRPAExchanger, owned_mask
+from repro.core.metrics import EpochStats, Stopwatch, TrainResult
+from repro.core.models import build_model, norm_from_degrees
+from repro.core.sync import allreduce_gradients
+from repro.graph.datasets import Dataset
+from repro.nn import Adam, GraphSAGE, SGD, Tensor, masked_cross_entropy
+from repro.nn.tensor import no_grad
+from repro.partition import (
+    build_partitions,
+    build_split_trees,
+    hash_edge_partition,
+    libra_partition,
+    random_edge_partition,
+)
+from repro.partition.partition import PartitionedGraph
+
+
+@dataclass
+class RankState:
+    """Everything one rank owns."""
+
+    rank: int
+    features: np.ndarray
+    labels: np.ndarray
+    train_mask: np.ndarray
+    val_mask: np.ndarray
+    test_mask: np.ndarray
+    owned: np.ndarray
+    norm: Tensor
+    model: GraphSAGE
+    optimizer: object
+
+
+@dataclass
+class DistTrainResult(TrainResult):
+    """Training result plus distributed instrumentation."""
+
+    algorithm: str = ""
+    num_partitions: int = 0
+    replication_factor: float = 0.0
+    total_comm_bytes: int = 0
+    peak_inflight_bytes: int = 0
+
+
+class DistributedTrainer:
+    """Drives ``num_partitions`` simulated ranks through DRPA training."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        num_partitions: int,
+        algorithm: Union[str, AlgorithmSpec] = "cd-0",
+        config: Optional[TrainConfig] = None,
+        partitioner: str = "libra",
+        parted: Optional[PartitionedGraph] = None,
+    ):
+        self.dataset = dataset
+        self.config = config or TrainConfig().for_dataset(dataset.name)
+        cfg = self.config
+        self.spec = (
+            algorithm
+            if isinstance(algorithm, AlgorithmSpec)
+            else get_algorithm(algorithm, delay=cfg.delay)
+        )
+        self.num_partitions = num_partitions
+
+        if parted is None:
+            assignment = _run_partitioner(
+                partitioner, dataset.graph, num_partitions, cfg.seed
+            )
+            parted = build_partitions(dataset.graph, assignment, num_partitions)
+        self.parted = parted
+        self.plan = build_split_trees(
+            parted, seed=cfg.seed, build_tree_objects=False
+        )
+        self.world = World(num_partitions)
+        # Forward-aggregate exchanger: delay/bins from the algorithm.
+        self.agg_exchanger = DRPAExchanger(
+            parted,
+            self.plan,
+            self.world,
+            delay=self.spec.delay,
+            num_bins=self.spec.num_bins,
+            tag_prefix="agg",
+            compression=cfg.compression,
+        )
+        # Synchronous exchangers for cd-0 gradients and for evaluation.
+        self.grad_exchanger = DRPAExchanger(
+            parted, self.plan, self.world, delay=0, num_bins=1, tag_prefix="grad"
+        )
+        self.eval_exchanger = DRPAExchanger(
+            parted, self.plan, self.world, delay=0, num_bins=1, tag_prefix="eval"
+        )
+
+        self.global_train_count = int(np.asarray(dataset.train_mask).sum())
+        global_deg = dataset.graph.in_degrees().astype(np.float32)
+        self.ranks: List[RankState] = []
+        for r in range(num_partitions):
+            part = parted.parts[r]
+            gids = part.global_ids
+            # Same seed across ranks -> identical replicas; dropout stays 0
+            # (replica-identical forward is required for cd-0 exactness).
+            model = build_model(cfg, dataset.feature_dim, dataset.num_classes)
+            optimizer = _make_optimizer(model, cfg)
+            # Clones share the *global* in-degree so normalization matches
+            # the single-socket model after cd-0 synchronization.
+            norm = norm_from_degrees(cfg.model, global_deg[gids])
+            self.ranks.append(
+                RankState(
+                    rank=r,
+                    features=dataset.features[gids],
+                    labels=dataset.labels[gids],
+                    train_mask=dataset.train_mask[gids],
+                    val_mask=dataset.val_mask[gids],
+                    test_mask=dataset.test_mask[gids],
+                    owned=owned_mask(parted, self.plan, r),
+                    norm=norm,
+                    model=model,
+                    optimizer=optimizer,
+                )
+            )
+        self.stopwatch = Stopwatch()
+
+    # -- forward -----------------------------------------------------------------
+
+    def _forward(self, epoch: int, record: bool) -> Dict:
+        """Run the segmented forward on all ranks.
+
+        Returns the per-layer tape records needed by backward when
+        ``record`` is True (training), or just the logits otherwise.
+        """
+        P = self.num_partitions
+        cfg = self.config
+        sw = self.stopwatch
+        h: List[Tensor] = [
+            Tensor(state.features, requires_grad=False) for state in self.ranks
+        ]
+        records = []
+        num_layers = cfg.num_layers
+        for l in range(num_layers):
+            # Segment A: local partial aggregation (the AP).
+            z: List[Tensor] = []
+            with sw.time("local_agg"):
+                for state in self.ranks:
+                    layer = state.model.layers[l]
+                    z.append(
+                        layer.aggregate(
+                            self.parted.parts[state.rank].graph,
+                            h[state.rank],
+                            state.norm,
+                        )
+                    )
+            # DRPA: remote partial aggregates (pre/post-processing + comm).
+            if self.spec.communicate:
+                vals = [t.data for t in z]
+                with sw.time("remote_agg"):
+                    if self.spec.is_synchronous:
+                        self.agg_exchanger.synchronous_round(vals, layer=l, epoch=epoch)
+                    else:
+                        self.agg_exchanger.delayed_round(vals, layer=l, epoch=epoch)
+            # Segment B: combine + MLP, on detached aggregates.
+            z_leaf = [Tensor(t.data, requires_grad=True) for t in z]
+            h_out: List[Tensor] = []
+            for state in self.ranks:
+                layer = state.model.layers[l]
+                h_out.append(layer.combine(z_leaf[state.rank], h[state.rank], state.norm))
+            if record:
+                records.append({"h_in": h, "z": z, "z_leaf": z_leaf, "h_out": h_out})
+            if l < num_layers - 1:
+                h = [Tensor(t.data, requires_grad=True) for t in h_out]
+        return {"records": records, "logits": h_out}
+
+    # -- one training epoch ----------------------------------------------------------
+
+    def train_epoch(self, epoch: int) -> EpochStats:
+        P = self.num_partitions
+        cfg = self.config
+        sw = self.stopwatch
+        sw.reset()
+        counters_before = self.world.counters.snapshot()
+        t0 = time.perf_counter()
+
+        for state in self.ranks:
+            state.model.train()
+            state.model.zero_grad()
+
+        out = self._forward(epoch, record=True)
+        records, logits = out["records"], out["logits"]
+
+        # Per-rank loss over *owned* training vertices, normalized globally.
+        losses = []
+        loss_values = []
+        for state in self.ranks:
+            mask = state.train_mask & state.owned
+            if mask.any():
+                loss = masked_cross_entropy(
+                    logits[state.rank],
+                    state.labels,
+                    mask,
+                    normalizer=self.global_train_count,
+                )
+            else:
+                loss = None
+            losses.append(loss)
+            loss_values.append(
+                float(loss.data) if loss is not None else 0.0
+            )
+        global_loss = float(np.sum(loss_values))
+
+        # Backward: segment B of the top layer via the loss...
+        for loss in losses:
+            if loss is not None:
+                loss.backward()
+        # ...then walk the layer segments down.
+        num_layers = cfg.num_layers
+        for l in range(num_layers - 1, -1, -1):
+            rec = records[l]
+            gz = [
+                t.grad if t.grad is not None else np.zeros_like(t.data)
+                for t in rec["z_leaf"]
+            ]
+            if self.spec.communicate and self.spec.sync_gradients:
+                # Exact adjoint of the forward sync: tree-sum the clone
+                # gradients and redistribute (root adds leaf grads to its
+                # own, then broadcasts the total back).
+                with sw.time("remote_agg"):
+                    self.grad_exchanger.synchronous_round(gz, layer=l, epoch=epoch)
+            if l > 0:
+                with sw.time("local_agg"):
+                    for state in self.ranks:
+                        rec["z"][state.rank].backward(gz[state.rank])
+                prev = records[l - 1]
+                for state in self.ranks:
+                    hin = rec["h_in"][state.rank]
+                    g_hin = (
+                        hin.grad
+                        if hin.grad is not None
+                        else np.zeros_like(hin.data)
+                    )
+                    prev["h_out"][state.rank].backward(g_hin)
+
+        # Parameter sync (AllReduce) + identical optimizer steps.
+        allreduce_gradients(self.world, [s.model for s in self.ranks])
+        for state in self.ranks:
+            state.optimizer.step()
+
+        self.world.advance_epoch()
+        total = time.perf_counter() - t0
+        delta = self.world.counters.delta_since(counters_before)
+        return EpochStats(
+            epoch=epoch,
+            loss=global_loss,
+            total_time_s=total,
+            local_agg_time_s=sw.get("local_agg") / P,
+            remote_agg_time_s=sw.get("remote_agg") / P,
+            comm_bytes=delta.total_bytes,
+        )
+
+    # -- evaluation -------------------------------------------------------------------
+
+    def evaluate(self) -> Dict[str, float]:
+        """Global accuracy over owned vertices, complete-neighbourhood
+        inference (synchronous aggregate exchange regardless of the
+        training algorithm)."""
+        cfg = self.config
+        for state in self.ranks:
+            state.model.eval()
+        with no_grad():
+            h = [Tensor(state.features) for state in self.ranks]
+            for l in range(cfg.num_layers):
+                z = [
+                    state.model.layers[l].aggregate(
+                        self.parted.parts[state.rank].graph, h[state.rank], state.norm
+                    )
+                    for state in self.ranks
+                ]
+                vals = [t.data for t in z]
+                self.eval_exchanger.synchronous_round(vals, layer=l, epoch=self.world.epoch)
+                h = [
+                    state.model.layers[l].combine(
+                        z[state.rank], h[state.rank], state.norm
+                    )
+                    for state in self.ranks
+                ]
+        for state in self.ranks:
+            state.model.train()
+        result = {}
+        for split in ("train", "val", "test"):
+            correct = total = 0
+            for state in self.ranks:
+                mask = getattr(state, f"{split}_mask") & state.owned
+                if not mask.any():
+                    continue
+                pred = h[state.rank].data[mask].argmax(axis=1)
+                correct += int((pred == state.labels[mask]).sum())
+                total += int(mask.sum())
+            result[split] = correct / total if total else 0.0
+        return result
+
+    # -- driver ----------------------------------------------------------------------
+
+    def fit(
+        self, num_epochs: Optional[int] = None, verbose: bool = False
+    ) -> DistTrainResult:
+        cfg = self.config
+        num_epochs = num_epochs if num_epochs is not None else cfg.num_epochs
+        result = DistTrainResult(
+            algorithm=self.spec.display_name(),
+            num_partitions=self.num_partitions,
+            replication_factor=self.parted.replication_factor,
+        )
+        best_val = -1.0
+        peak_inflight = 0
+        for epoch in range(num_epochs):
+            stats = self.train_epoch(epoch)
+            peak_inflight = max(peak_inflight, self.world.queue.in_flight_bytes())
+            if cfg.eval_every and (
+                epoch % cfg.eval_every == 0 or epoch == num_epochs - 1
+            ):
+                accs = self.evaluate()
+                stats.train_acc = accs["train"]
+                stats.val_acc = accs["val"]
+                stats.test_acc = accs["test"]
+                best_val = max(best_val, accs["val"])
+                if verbose:
+                    print(
+                        f"[{self.spec.display_name()} P={self.num_partitions}] "
+                        f"epoch {epoch:4d} loss {stats.loss:.4f} "
+                        f"val {accs['val']:.4f} test {accs['test']:.4f}"
+                    )
+            result.epochs.append(stats)
+        final = self.evaluate()
+        result.final_test_acc = final["test"]
+        result.best_val_acc = max(best_val, final["val"])
+        result.total_comm_bytes = self.world.counters.total_bytes
+        result.peak_inflight_bytes = peak_inflight
+        return result
+
+
+def _make_optimizer(model: GraphSAGE, cfg: TrainConfig):
+    if cfg.optimizer == "adam":
+        return Adam(
+            model.parameters(), lr=cfg.learning_rate, weight_decay=cfg.weight_decay
+        )
+    if cfg.optimizer == "sgd":
+        return SGD(
+            model.parameters(),
+            lr=cfg.learning_rate,
+            momentum=cfg.momentum,
+            weight_decay=cfg.weight_decay,
+        )
+    raise ValueError(f"unknown optimizer {cfg.optimizer!r}")
+
+
+def _run_partitioner(name: str, graph, num_partitions: int, seed: int) -> np.ndarray:
+    if name == "libra":
+        return libra_partition(graph, num_partitions, seed=seed)
+    if name == "random":
+        return random_edge_partition(graph, num_partitions, seed=seed)
+    if name == "hash":
+        return hash_edge_partition(graph, num_partitions)
+    raise ValueError(f"unknown partitioner {name!r}; use libra/random/hash")

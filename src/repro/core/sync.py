@@ -1,0 +1,52 @@
+"""Data-parallel parameter synchronization.
+
+The model is replicated per socket; each epoch the weight gradients are
+AllReduced ("For parameter sync among the models, in each epoch, we use
+AllReduce collective operation", Section 6.1).  Per-rank losses are
+normalized by the *global* training-vertex count, so the sum-AllReduce of
+gradients reproduces the single-socket mean-loss gradient exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.comm.collectives import all_reduce
+from repro.comm.communicator import World
+from repro.nn.module import Module
+
+
+def allreduce_gradients(world: World, models: Sequence[Module]) -> None:
+    """Sum-AllReduce every parameter gradient across rank replicas.
+
+    Parameters with no gradient on some rank contribute zeros (that rank
+    had no loss terms touching them).
+    """
+    if len(models) != world.num_ranks:
+        raise ValueError("need one model replica per rank")
+    param_lists = [m.parameters() for m in models]
+    n_params = len(param_lists[0])
+    for plist in param_lists:
+        if len(plist) != n_params:
+            raise ValueError("model replicas disagree on parameter count")
+    for i in range(n_params):
+        grads = [
+            plist[i].grad
+            if plist[i].grad is not None
+            else np.zeros_like(plist[i].data)
+            for plist in param_lists
+        ]
+        reduced = all_reduce(world, grads, op="sum")
+        for plist, g in zip(param_lists, reduced):
+            plist[i].grad = g
+
+
+def assert_replicas_in_sync(models: Sequence[Module], atol: float = 0.0) -> None:
+    """Debug check: all replicas hold identical weights."""
+    ref = models[0].state_dict()
+    for m in models[1:]:
+        for name, arr in m.state_dict().items():
+            if not np.allclose(ref[name], arr, atol=atol):
+                raise AssertionError(f"replica divergence in parameter {name}")

@@ -1,0 +1,111 @@
+"""Single-socket full-batch trainer.
+
+This is the paper's optimized single-socket configuration: GraphSAGE-GCN
+over the optimized aggregation kernels, full-batch loss on the training
+vertices, Adam/SGD with the paper's weight decay.  It both serves as the
+accuracy reference for the distributed algorithms (Table 5's 1-socket
+rows) and produces the Total/AP time split of Fig. 2.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+
+from repro.core.config import TrainConfig
+from repro.core.metrics import EpochStats, TrainResult
+from repro.core.models import build_model, norm_from_degrees
+from repro.graph.datasets import Dataset
+from repro.kernels.instrumentation import AP_TIMER
+from repro.nn import Adam, GraphSAGE, SGD, Tensor, accuracy, masked_cross_entropy
+from repro.nn.tensor import no_grad
+
+
+class Trainer:
+    """Full-batch single-socket training driver."""
+
+    def __init__(self, dataset: Dataset, config: Optional[TrainConfig] = None):
+        self.dataset = dataset
+        self.config = config or TrainConfig().for_dataset(dataset.name)
+        cfg = self.config
+        self.model = build_model(cfg, dataset.feature_dim, dataset.num_classes)
+        self.features = Tensor(dataset.features)
+        self.norm = norm_from_degrees(cfg.model, dataset.graph.in_degrees())
+        self.optimizer = self._make_optimizer()
+
+    def _make_optimizer(self):
+        cfg = self.config
+        if cfg.optimizer == "adam":
+            return Adam(
+                self.model.parameters(),
+                lr=cfg.learning_rate,
+                weight_decay=cfg.weight_decay,
+            )
+        if cfg.optimizer == "sgd":
+            return SGD(
+                self.model.parameters(),
+                lr=cfg.learning_rate,
+                momentum=cfg.momentum,
+                weight_decay=cfg.weight_decay,
+            )
+        raise ValueError(f"unknown optimizer {cfg.optimizer!r}")
+
+    # -- epoch loop -----------------------------------------------------------
+
+    def train_epoch(self, epoch: int) -> EpochStats:
+        ds, cfg = self.dataset, self.config
+        ap_before = AP_TIMER.snapshot()
+        t0 = time.perf_counter()
+        self.model.train()
+        self.model.zero_grad()
+        logits = self.model(ds.graph, self.features, self.norm)
+        loss = masked_cross_entropy(logits, ds.labels, ds.train_mask)
+        loss.backward()
+        self.optimizer.step()
+        total = time.perf_counter() - t0
+        return EpochStats(
+            epoch=epoch,
+            loss=float(loss.data),
+            total_time_s=total,
+            ap_time_s=AP_TIMER.snapshot() - ap_before,
+        )
+
+    def evaluate(self) -> dict:
+        ds = self.dataset
+        self.model.eval()
+        with no_grad():
+            logits = self.model(ds.graph, self.features, self.norm)
+        self.model.train()
+        return {
+            "train": accuracy(logits.data, ds.labels, ds.train_mask),
+            "val": accuracy(logits.data, ds.labels, ds.val_mask),
+            "test": accuracy(logits.data, ds.labels, ds.test_mask),
+        }
+
+    def fit(self, num_epochs: Optional[int] = None, verbose: bool = False) -> TrainResult:
+        cfg = self.config
+        num_epochs = num_epochs if num_epochs is not None else cfg.num_epochs
+        result = TrainResult()
+        best_val = -1.0
+        for epoch in range(num_epochs):
+            stats = self.train_epoch(epoch)
+            if cfg.eval_every and (
+                epoch % cfg.eval_every == 0 or epoch == num_epochs - 1
+            ):
+                accs = self.evaluate()
+                stats.train_acc = accs["train"]
+                stats.val_acc = accs["val"]
+                stats.test_acc = accs["test"]
+                best_val = max(best_val, accs["val"])
+                if verbose:
+                    print(
+                        f"epoch {epoch:4d} loss {stats.loss:.4f} "
+                        f"val {accs['val']:.4f} test {accs['test']:.4f}"
+                    )
+            result.epochs.append(stats)
+        final = self.evaluate()
+        result.final_test_acc = final["test"]
+        result.best_val_acc = max(best_val, final["val"])
+        return result

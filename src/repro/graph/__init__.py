@@ -1,0 +1,63 @@
+"""Graph substrate for DistGNN.
+
+This package provides the graph data structures and workloads that every
+other layer of the reproduction builds on:
+
+- :mod:`repro.graph.csr` — the immutable :class:`CSRGraph` used by the
+  aggregation kernels (the role DGL's ``CSRMatrix`` plays in the paper).
+- :mod:`repro.graph.builders` — COO accumulation and conversion helpers.
+- :mod:`repro.graph.generators` — synthetic graph generators (R-MAT,
+  stochastic block model, preferential attachment) used to synthesize
+  structural stand-ins for the paper's datasets.
+- :mod:`repro.graph.datasets` — the five benchmark stand-ins (Reddit,
+  OGBN-Products, OGBN-Papers, Proteins, AM) with matched structural
+  signatures plus planted labels for accuracy experiments.
+- :mod:`repro.graph.io` — ``.npz`` persistence.
+- :mod:`repro.graph.utils` — degrees, bidirection, subgraphs, density.
+"""
+
+from repro.graph.builders import coo_to_csr, from_edge_list
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import (
+    DATASET_REGISTRY,
+    Dataset,
+    PAPER_DATASET_STATS,
+    PaperDatasetStats,
+    load_dataset,
+)
+from repro.graph.generators import (
+    powerlaw_cluster_graph,
+    preferential_attachment_graph,
+    rmat_graph,
+    sbm_graph,
+)
+from repro.graph.io import load_graph, save_graph
+from repro.graph.utils import (
+    average_degree,
+    density,
+    in_degrees,
+    out_degrees,
+    to_bidirected,
+)
+
+__all__ = [
+    "CSRGraph",
+    "coo_to_csr",
+    "from_edge_list",
+    "rmat_graph",
+    "sbm_graph",
+    "preferential_attachment_graph",
+    "powerlaw_cluster_graph",
+    "Dataset",
+    "PaperDatasetStats",
+    "PAPER_DATASET_STATS",
+    "DATASET_REGISTRY",
+    "load_dataset",
+    "save_graph",
+    "load_graph",
+    "in_degrees",
+    "out_degrees",
+    "average_degree",
+    "density",
+    "to_bidirected",
+]

@@ -1,0 +1,55 @@
+"""Persistence for graphs and datasets (compressed ``.npz``)."""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, validate_graph
+
+_FORMAT_VERSION = 1
+
+
+def save_graph(path: str, g: CSRGraph, **extra_arrays: np.ndarray) -> None:
+    """Save a graph (plus any aligned arrays, e.g. features/labels) to npz."""
+    payload = {
+        "format_version": np.asarray(_FORMAT_VERSION),
+        "indptr": g.indptr,
+        "indices": g.indices,
+        "edge_ids": g.edge_ids,
+        "num_src": np.asarray(g.num_src),
+    }
+    for key, arr in extra_arrays.items():
+        if key in payload:
+            raise ValueError(f"reserved array name: {key}")
+        payload[f"extra_{key}"] = np.asarray(arr)
+    np.savez_compressed(path, **payload)
+
+
+def load_graph(path: str):
+    """Load a graph saved by :func:`save_graph`.
+
+    Returns ``(graph, extras)`` where ``extras`` is a dict of the additional
+    arrays stored alongside the structure.
+    """
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    with np.load(path) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported graph format version {version}")
+        g = CSRGraph(
+            indptr=data["indptr"],
+            indices=data["indices"],
+            edge_ids=data["edge_ids"],
+            num_src=int(data["num_src"]),
+        )
+        validate_graph(g)
+        extras = {
+            key[len("extra_") :]: data[key]
+            for key in data.files
+            if key.startswith("extra_")
+        }
+    return g, extras

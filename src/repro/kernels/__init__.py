@@ -1,0 +1,47 @@
+"""Aggregation-primitive (AP) kernels.
+
+The AP is the tuple ``(f_V, f_E, ⊗, ⊕, f_O)`` of paper Section 2.1: an
+element-wise binary/unary message operator ``⊗`` combined edge-wise and an
+element-wise reducer ``⊕`` accumulating messages into destination rows.
+
+Kernel taxonomy (mirrors the paper's optimization ladder, Fig. 4):
+
+- :mod:`repro.kernels.baseline` — Alg. 1, the DGL-style per-destination
+  pull loop (our stand-in for the un-optimized DGL 0.5.3 kernel).
+- :mod:`repro.kernels.blocked` — Alg. 2, source-dimension cache blocking.
+- :mod:`repro.kernels.reordered` — Alg. 3, loop reordering with full-width
+  vector inner kernels (our stand-in for LIBXSMM JITed SIMD).
+- :mod:`repro.kernels.scheduling` — OpenMP static/dynamic scheduling
+  simulator used to quantify load imbalance on power-law graphs.
+- :mod:`repro.kernels.spmm` — the public ``aggregate`` dispatch API
+  (the role of DGL featgraph's single SpMM template).
+- :mod:`repro.kernels.tuning` — block-count auto-tuner driven by the
+  cache model.
+"""
+
+from repro.kernels.operators import (
+    BINARY_OPS,
+    REDUCE_OPS,
+    BinaryOp,
+    ReduceOp,
+    get_binary_op,
+    get_reduce_op,
+)
+from repro.kernels.spmm import AggregationSpec, KERNELS, aggregate
+from repro.kernels.scheduling import ScheduleResult, simulate_schedule
+from repro.kernels.tuning import choose_num_blocks
+
+__all__ = [
+    "BinaryOp",
+    "ReduceOp",
+    "BINARY_OPS",
+    "REDUCE_OPS",
+    "get_binary_op",
+    "get_reduce_op",
+    "aggregate",
+    "AggregationSpec",
+    "KERNELS",
+    "simulate_schedule",
+    "ScheduleResult",
+    "choose_num_blocks",
+]

@@ -1,0 +1,48 @@
+"""Global aggregation-primitive timing.
+
+Fig. 2 of the paper breaks per-epoch time into Total vs AP.  Every call
+through :func:`repro.kernels.spmm.aggregate` (forward *and* the SpMM
+backward, which is also an AP invocation) adds its wall time here; the
+trainers snapshot the counter around each epoch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class APTimer:
+    """Accumulated AP wall time and call count."""
+
+    elapsed_s: float = 0.0
+    calls: int = 0
+
+    def add(self, seconds: float) -> None:
+        self.elapsed_s += seconds
+        self.calls += 1
+
+    def reset(self) -> None:
+        self.elapsed_s = 0.0
+        self.calls = 0
+
+    def snapshot(self) -> float:
+        return self.elapsed_s
+
+
+AP_TIMER = APTimer()
+
+
+class time_ap:
+    """Context manager timing one AP invocation into :data:`AP_TIMER`."""
+
+    __slots__ = ("_t0",)
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        AP_TIMER.add(time.perf_counter() - self._t0)
+        return False

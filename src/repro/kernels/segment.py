@@ -1,0 +1,44 @@
+"""Segment reduction over CSR row boundaries.
+
+``np.ufunc.reduceat`` reduces contiguous segments but mishandles empty
+segments (it *copies* the element at the start index instead of producing
+the identity).  All vectorized kernels funnel through
+:func:`segment_reduce`, which applies the standard fix: reduce only the
+non-empty rows — the next non-empty row start coincides with the current
+row's end, so passing non-empty starts to ``reduceat`` yields exactly the
+per-row reductions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.operators import ReduceOp
+
+
+def segment_reduce(
+    values: np.ndarray,
+    indptr: np.ndarray,
+    reduce_op: ReduceOp,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Reduce ``values`` rows into ``out`` along CSR segments.
+
+    Parameters
+    ----------
+    values:
+        ``(nnz, d)`` per-edge messages, ordered to match ``indptr``.
+    indptr:
+        ``(num_rows + 1,)`` segment boundaries.
+    out:
+        ``(num_rows, d)`` accumulator; row ``v`` becomes
+        ``out[v] ⊕ reduce(values[indptr[v]:indptr[v+1]])``.
+    """
+    starts = indptr[:-1]
+    ends = indptr[1:]
+    nonempty = ends > starts
+    if not nonempty.any():
+        return out
+    reduced = reduce_op.ufunc.reduceat(values, starts[nonempty], axis=0)
+    out[nonempty] = reduce_op.ufunc(out[nonempty], reduced)
+    return out

@@ -1,0 +1,114 @@
+"""Public aggregation API — the featgraph-style single SpMM template.
+
+``aggregate`` dispatches one of the kernel variants over the full operator
+table.  This is the only aggregation entry point the rest of the library
+(models, trainers, distributed algorithms) uses, mirroring how DGL funnels
+all message passing through one SpMM template (paper Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.kernels.baseline import aggregate_baseline, aggregate_dense_reference
+from repro.kernels.blocked import BlockedGraph, aggregate_blocked
+from repro.kernels.reordered import aggregate_reordered
+
+
+@dataclass(frozen=True)
+class AggregationSpec:
+    """A fully specified AP instance ``(⊗, ⊕, kernel, nB)``."""
+
+    binary_op: str = "copylhs"
+    reduce_op: str = "sum"
+    kernel: str = "auto"
+    num_blocks: int = 1
+
+
+#: kernel name -> callable(graph, f_v, f_e, binary_op, reduce_op, **kw)
+KERNELS: Dict[str, Callable] = {
+    "baseline": aggregate_baseline,
+    "reordered": aggregate_reordered,
+    "blocked": aggregate_blocked,
+    "reference": aggregate_dense_reference,
+}
+
+#: Heuristic vertex-count threshold above which blocking starts to pay off
+#: on dense graphs (roughly: f_V no longer fits in a socket-sized LLC).
+_AUTO_BLOCK_THRESHOLD = 1 << 15
+
+
+def aggregate(
+    graph: Union[CSRGraph, BlockedGraph],
+    f_v: Optional[np.ndarray],
+    f_e: Optional[np.ndarray] = None,
+    binary_op: str = "copylhs",
+    reduce_op: str = "sum",
+    kernel: str = "auto",
+    num_blocks: Optional[int] = None,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Compute the aggregation primitive ``f_O[v] = ⊕_u (f_V[u] ⊗ f_E[e_uv])``.
+
+    Parameters
+    ----------
+    graph:
+        CSR adjacency (or a pre-blocked :class:`BlockedGraph`).
+    f_v, f_e:
+        Vertex / edge feature matrices; either may be ``None`` when the
+        operator doesn't read it (``copyrhs`` / ``copylhs``).
+    binary_op, reduce_op:
+        Operator names from paper Table 1.
+    kernel:
+        ``"baseline"`` (Alg. 1), ``"reordered"`` (Alg. 3), ``"blocked"``
+        (Alg. 2 over Alg. 3), ``"reference"`` (test-only), or ``"auto"``.
+    num_blocks:
+        Block count for the blocked kernel; ``None`` lets the auto-tuner
+        pick (see :mod:`repro.kernels.tuning`).
+    """
+    from repro.kernels.instrumentation import time_ap
+
+    if isinstance(graph, BlockedGraph):
+        with time_ap():
+            return aggregate_blocked(
+                graph, f_v, f_e, binary_op=binary_op, reduce_op=reduce_op, out=out
+            )
+
+    if kernel == "auto":
+        kernel, num_blocks = _auto_select(graph, f_v, f_e, num_blocks)
+
+    fn = KERNELS.get(kernel)
+    if fn is None:
+        raise KeyError(f"unknown kernel {kernel!r}; available: {sorted(KERNELS)}")
+    kwargs = dict(binary_op=binary_op, reduce_op=reduce_op)
+    if kernel != "reference":
+        kwargs["out"] = out
+    elif out is not None:
+        raise ValueError("the reference kernel does not accumulate into out")
+    if kernel == "blocked":
+        if num_blocks is None:
+            from repro.kernels.tuning import choose_num_blocks
+
+            num_blocks = choose_num_blocks(graph, _dim_of(f_v, f_e))
+        kwargs["num_blocks"] = num_blocks
+    with time_ap():
+        return fn(graph, f_v, f_e, **kwargs)
+
+
+def _auto_select(graph, f_v, f_e, num_blocks):
+    if num_blocks is not None and num_blocks > 1:
+        return "blocked", num_blocks
+    if graph.num_src >= _AUTO_BLOCK_THRESHOLD:
+        return "blocked", num_blocks
+    return "reordered", num_blocks
+
+
+def _dim_of(f_v, f_e) -> int:
+    for f in (f_v, f_e):
+        if f is not None:
+            return int(f.shape[1])
+    raise ValueError("at least one of f_v, f_e must be provided")

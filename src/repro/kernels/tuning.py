@@ -1,0 +1,46 @@
+"""Block-count auto-tuner.
+
+The paper notes that "finding the best block size is challenging since
+many graphs follow a power law" (Section 4.2) and picks the sweet spot
+where total memory IO is smallest (Fig. 3).  We automate exactly that
+criterion: sweep candidate ``nB`` values through the analytic traffic
+model and return the minimizer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.graph.csr import CSRGraph
+
+#: Default nB sweep, matching the paper's Table 3 columns.
+DEFAULT_CANDIDATES = (1, 2, 4, 8, 16, 32, 64)
+
+
+def choose_num_blocks(
+    graph: CSRGraph,
+    feature_dim: int,
+    cache_vectors: Optional[int] = None,
+    candidates: Sequence[int] = DEFAULT_CANDIDATES,
+    feature_bytes: int = 4,
+) -> int:
+    """Pick the ``nB`` minimizing predicted total memory IO (Fig. 3 criterion)."""
+    from repro.cachesim.analytic import cache_vectors_for
+    from repro.cachesim.traffic import ap_traffic
+
+    if cache_vectors is None:
+        cache_vectors = cache_vectors_for(graph.num_src, feature_dim, feature_bytes)
+    best_nb, best_io = 1, float("inf")
+    for nb in candidates:
+        if nb < 1 or nb > max(graph.num_src, 1):
+            continue
+        traffic = ap_traffic(
+            graph,
+            feature_dim,
+            num_blocks=nb,
+            cache_vectors=cache_vectors,
+            feature_bytes=feature_bytes,
+        )
+        if traffic.total < best_io:
+            best_io, best_nb = traffic.total, nb
+    return best_nb

@@ -1,0 +1,303 @@
+"""Differentiable operations.
+
+Each op builds a child :class:`~repro.nn.tensor.Tensor` whose backward
+closure returns per-parent gradients.  Broadcasting ops reduce gradients
+back to the parent shape with :func:`_unbroadcast` (summing the expanded
+axes), matching NumPy broadcast semantics.
+
+``spmm`` is the differentiable aggregation primitive: forward runs the
+optimized kernel of :mod:`repro.kernels`; backward multiplies by the
+transposed adjacency (cached per graph), which is exactly the adjoint of
+``f_O = A f_V``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.kernels.spmm import aggregate
+from repro.nn.tensor import Tensor, grad_enabled
+
+
+def _unbroadcast(grad: np.ndarray, shape) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (inverse of NumPy broadcasting)."""
+    if grad.shape == tuple(shape):
+        return grad
+    # sum leading extra dims
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _make(data, parents, backward_fn, name=""):
+    track = grad_enabled() and any(p.requires_grad or p._parents for p in parents)
+    return Tensor(
+        data,
+        requires_grad=False,
+        _parents=tuple(parents) if track else (),
+        _backward_fn=backward_fn if track else None,
+        name=name,
+    )
+
+
+# -- arithmetic -----------------------------------------------------------------
+
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    out = a.data + b.data
+
+    def backward(g):
+        return _unbroadcast(g, a.shape), _unbroadcast(g, b.shape)
+
+    return _make(out, (a, b), backward, "add")
+
+
+def sub(a: Tensor, b: Tensor) -> Tensor:
+    out = a.data - b.data
+
+    def backward(g):
+        return _unbroadcast(g, a.shape), _unbroadcast(-g, b.shape)
+
+    return _make(out, (a, b), backward, "sub")
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    out = a.data * b.data
+
+    def backward(g):
+        return (
+            _unbroadcast(g * b.data, a.shape),
+            _unbroadcast(g * a.data, b.shape),
+        )
+
+    return _make(out, (a, b), backward, "mul")
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("matmul supports 2-D tensors only")
+    out = a.data @ b.data
+
+    def backward(g):
+        return g @ b.data.T, a.data.T @ g
+
+    return _make(out, (a, b), backward, "matmul")
+
+
+# -- reductions -------------------------------------------------------------------
+
+
+def sum_all(a: Tensor) -> Tensor:
+    out = np.asarray(a.data.sum(), dtype=a.dtype)
+
+    def backward(g):
+        return (np.broadcast_to(g, a.shape).astype(a.dtype),)
+
+    return _make(out, (a,), backward, "sum")
+
+
+def mean_all(a: Tensor) -> Tensor:
+    n = a.data.size
+    out = np.asarray(a.data.mean(), dtype=a.dtype)
+
+    def backward(g):
+        return (np.broadcast_to(g / n, a.shape).astype(a.dtype),)
+
+    return _make(out, (a,), backward, "mean")
+
+
+# -- nonlinearities -----------------------------------------------------------------
+
+
+def relu(a: Tensor) -> Tensor:
+    mask = a.data > 0
+    out = a.data * mask
+
+    def backward(g):
+        return (g * mask,)
+
+    return _make(out, (a,), backward, "relu")
+
+
+def dropout(a: Tensor, p: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1/(1-p)``."""
+    if not training or p <= 0.0:
+        return a
+    if not 0.0 <= p < 1.0:
+        raise ValueError("dropout p must be in [0, 1)")
+    mask = (rng.random(a.shape) >= p) / (1.0 - p)
+    mask = mask.astype(a.dtype)
+    out = a.data * mask
+
+    def backward(g):
+        return (g * mask,)
+
+    return _make(out, (a,), backward, "dropout")
+
+
+def log_softmax(a: Tensor) -> Tensor:
+    """Row-wise log-softmax (numerically stable)."""
+    z = a.data - a.data.max(axis=1, keepdims=True)
+    logsumexp = np.log(np.exp(z).sum(axis=1, keepdims=True))
+    out = z - logsumexp
+    softmax = np.exp(out)
+
+    def backward(g):
+        return (g - softmax * g.sum(axis=1, keepdims=True),)
+
+    return _make(out, (a,), backward, "log_softmax")
+
+
+# -- graph ops -------------------------------------------------------------------
+
+
+def spmm(
+    graph: CSRGraph,
+    features: Tensor,
+    kernel: str = "auto",
+    num_blocks: Optional[int] = None,
+) -> Tensor:
+    """Differentiable aggregation ``out = A @ features`` (copylhs/sum AP).
+
+    Backward applies the transposed adjacency: ``d features = A^T @ g``.
+    The reversed CSR is cached on the graph object after the first call so
+    training reuses it every epoch.
+    """
+    out = aggregate(
+        graph, features.data, kernel=kernel, num_blocks=num_blocks
+    )
+    reverse = _cached_reverse(graph)
+
+    def backward(g):
+        return (
+            aggregate(reverse, g, kernel=kernel, num_blocks=num_blocks),
+        )
+
+    return _make(out, (features,), backward, "spmm")
+
+
+def _cached_reverse(graph: CSRGraph) -> CSRGraph:
+    # The reverse is cached on the graph instance itself (an id()-keyed
+    # global dict would go stale when Python reuses object ids after GC).
+    rev = getattr(graph, "_spmm_reverse", None)
+    if rev is None:
+        rev = graph.reverse()
+        object.__setattr__(graph, "_spmm_reverse", rev)
+    return rev
+
+
+def leaky_relu(a: Tensor, slope: float = 0.2) -> Tensor:
+    mask = a.data > 0
+    out = np.where(mask, a.data, slope * a.data)
+
+    def backward(g):
+        return (np.where(mask, g, slope * g),)
+
+    return _make(out, (a,), backward, "leaky_relu")
+
+
+def edge_scores(graph: CSRGraph, src_score: Tensor, dst_score: Tensor) -> Tensor:
+    """Per-edge score ``e_uv = s_src[u] + s_dst[v]`` (GAT logits).
+
+    Inputs are ``(N, 1)`` columns; output is ``(num_edges, 1)`` in edge-id
+    order.  This is the SDDMM-``add`` of paper Section 2.2, made
+    differentiable: backward scatter-adds edge gradients to the endpoint
+    scores.
+    """
+    src, dst, eid = graph.to_coo()
+    out = np.empty((graph.num_edges, 1), dtype=src_score.dtype)
+    out[eid] = src_score.data[src] + dst_score.data[dst]
+
+    def backward(g):
+        ge = g[eid]
+        gs = np.zeros_like(src_score.data)
+        gd = np.zeros_like(dst_score.data)
+        np.add.at(gs[:, 0], src, ge[:, 0])
+        np.add.at(gd[:, 0], dst, ge[:, 0])
+        return gs, gd
+
+    return _make(out, (src_score, dst_score), backward, "edge_scores")
+
+
+def edge_softmax(graph: CSRGraph, logits: Tensor) -> Tensor:
+    """Differentiable per-destination softmax over in-edge logits."""
+    from repro.kernels.sddmm import edge_softmax_vectorized
+
+    soft = edge_softmax_vectorized(graph, logits.data)
+    indptr, eids = graph.indptr, graph.edge_ids
+
+    def backward(g):
+        # d logits = s * (g - sum_per_segment(g * s))
+        gs = g * soft
+        seg = np.zeros((graph.num_vertices, 1), dtype=np.float64)
+        dst = np.repeat(
+            np.arange(graph.num_vertices), np.diff(indptr)
+        )
+        np.add.at(seg[:, 0], dst, gs[eids, 0])
+        per_edge = np.empty_like(g, dtype=np.float64)
+        per_edge[eids, 0] = seg[dst, 0]
+        return ((soft * (g - per_edge)).astype(logits.dtype),)
+
+    return _make(soft, (logits,), backward, "edge_softmax")
+
+
+def weighted_spmm(graph: CSRGraph, features: Tensor, weights: Tensor) -> Tensor:
+    """Attention-weighted aggregation ``out[v] = sum_u w_uv * h_u``.
+
+    ``weights`` is ``(num_edges, 1)`` in edge-id order.  Gradients flow to
+    both operands: features through the transposed adjacency with the same
+    weights, weights through the SDDMM-dot of endpoint features/gradients.
+    """
+    out = aggregate(
+        graph, features.data, weights.data, binary_op="mul", reduce_op="sum"
+    )
+    reverse = _cached_reverse(graph)
+
+    def backward(g):
+        gf = aggregate(
+            reverse, g, weights.data, binary_op="mul", reduce_op="sum"
+        )
+        from repro.kernels.sddmm import sddmm
+
+        gw = sddmm(graph, features.data, g, op="dot").astype(weights.dtype)
+        return gf.astype(features.dtype), gw
+
+    return _make(out, (features, weights), backward, "weighted_spmm")
+
+
+def pick(a: Tensor, rows: np.ndarray, cols: np.ndarray) -> Tensor:
+    """Element selection ``out[i] = a[rows[i], cols[i]]`` (for NLL loss)."""
+    rows = np.asarray(rows)
+    cols = np.asarray(cols)
+    out = a.data[rows, cols]
+
+    def backward(g):
+        ga = np.zeros_like(a.data)
+        np.add.at(ga, (rows, cols), g)
+        return (ga,)
+
+    return _make(out, (a,), backward, "pick")
+
+
+def rows_add(a: Tensor, rows: np.ndarray, values: np.ndarray) -> Tensor:
+    """Out-of-place ``out[rows] += values`` with identity backward.
+
+    Used by the distributed trainer to inject *constant* remote partial
+    aggregates into split-vertex rows: the injected values are data from
+    other ranks (their gradients are handled by the explicit tree exchange,
+    not by this tape), so backward passes the local gradient through
+    unchanged.
+    """
+    out = a.data.copy()
+    np.add.at(out, rows, values.astype(a.dtype))
+
+    def backward(g):
+        return (g,)
+
+    return _make(out, (a,), backward, "rows_add")

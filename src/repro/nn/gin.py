@@ -1,0 +1,89 @@
+"""Graph Isomorphism Network (Xu et al., the paper's reference [34]).
+
+GIN is the maximally expressive message-passing architecture the paper
+cites for GNN expressivity.  A layer is
+
+    h' = MLP( (1 + eps) * h + sum_{u in N(v)} h_u )
+
+— again the copylhs/sum aggregation primitive, followed by a 2-layer MLP.
+``eps`` is a learnable scalar.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class GINConv(Module):
+    """One GIN layer with a learnable self-weight epsilon."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        hidden_features: Optional[int] = None,
+        activation: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        kernel: str = "auto",
+    ):
+        super().__init__()
+        hidden = hidden_features or out_features
+        rng = rng or np.random.default_rng(0)
+        self.mlp1 = Linear(in_features, hidden, rng=rng)
+        self.mlp2 = Linear(hidden, out_features, rng=rng)
+        self.eps = Parameter(np.zeros(1, dtype=np.float32), name="eps")
+        self.activation = activation
+        self.kernel = kernel
+
+    def __call__(self, graph: CSRGraph, h: Tensor) -> Tensor:
+        agg = F.spmm(graph, h, kernel=self.kernel)
+        one_plus_eps = F.add(self.eps, Tensor(np.ones(1, dtype=np.float32)))
+        combined = F.add(agg, F.mul(h, one_plus_eps))
+        out = self.mlp2(F.relu(self.mlp1(combined)))
+        if self.activation:
+            out = F.relu(out)
+        return out
+
+
+class GIN(Module):
+    """Stacked GIN for vertex classification."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int,
+        num_classes: int,
+        num_layers: int = 2,
+        seed: int = 0,
+        kernel: str = "auto",
+    ):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = np.random.default_rng(seed)
+        dims = [in_features] + [hidden_features] * (num_layers - 1) + [num_classes]
+        self.layers: List[GINConv] = []
+        for i in range(num_layers):
+            layer = GINConv(
+                dims[i],
+                dims[i + 1],
+                activation=(i < num_layers - 1),
+                rng=rng,
+                kernel=kernel,
+            )
+            self.register_module(f"layer{i}", layer)
+            self.layers.append(layer)
+
+    def __call__(self, graph: CSRGraph, features: Tensor) -> Tensor:
+        h = features
+        for layer in self.layers:
+            h = layer(graph, h)
+        return h

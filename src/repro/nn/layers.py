@@ -1,0 +1,53 @@
+"""Basic neural layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.init import xavier_uniform
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            xavier_uniform(in_features, out_features, rng), name="weight"
+        )
+        if bias:
+            self.bias = Parameter(np.zeros(out_features, dtype=np.float32), name="bias")
+        else:
+            self.bias = None
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = F.matmul(x, self.weight)
+        if self.bias is not None:
+            out = F.add(out, self.bias)
+        return out
+
+
+class Dropout(Module):
+    """Inverted dropout with a module-owned RNG stream."""
+
+    def __init__(self, p: float = 0.5, seed: int = 0):
+        super().__init__()
+        self.p = p
+        self.rng = np.random.default_rng(seed)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.rng, self.training)

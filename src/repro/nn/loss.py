@@ -1,0 +1,55 @@
+"""Losses and metrics."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def masked_cross_entropy(
+    logits: Tensor,
+    labels: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    normalizer: Optional[float] = None,
+) -> Tensor:
+    """Negative log-likelihood over the masked rows.
+
+    Full-batch vertex classification computes the loss on the training
+    vertices only; the mask selects them.  ``normalizer`` overrides the
+    denominator — data-parallel ranks divide by the *global* training
+    count so that summing per-rank gradients (AllReduce) reproduces the
+    single-socket mean-loss gradient.
+    """
+    labels = np.asarray(labels)
+    if mask is None:
+        rows = np.arange(labels.size)
+    else:
+        rows = np.flatnonzero(np.asarray(mask))
+    if rows.size == 0:
+        raise ValueError("loss mask selects no vertices")
+    log_probs = F.log_softmax(logits)
+    picked = F.pick(log_probs, rows, labels[rows])
+    if normalizer is None:
+        return -picked.mean()
+    scale = Tensor(np.asarray(1.0 / float(normalizer), dtype=logits.dtype))
+    return -(picked.sum() * scale)
+
+
+def accuracy(
+    logits: np.ndarray, labels: np.ndarray, mask: Optional[np.ndarray] = None
+) -> float:
+    """Fraction of masked rows whose argmax matches the label."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if mask is not None:
+        rows = np.flatnonzero(np.asarray(mask))
+        if rows.size == 0:
+            return 0.0
+        logits = logits[rows]
+        labels = labels[rows]
+    pred = logits.argmax(axis=1)
+    return float((pred == labels).mean())

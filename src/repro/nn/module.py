@@ -1,0 +1,86 @@
+"""Minimal module system (parameter registration + traversal)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A leaf tensor registered as trainable."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(np.asarray(data), requires_grad=True, name=name)
+
+
+class Module:
+    """Base class: auto-registers Parameter/Module attributes.
+
+    Provides the PyTorch-style surface the trainers rely on:
+    ``parameters()``, ``named_parameters()``, ``zero_grad()``,
+    ``train()/eval()``, ``state_dict()/load_state_dict()``.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self.training = True
+
+    def __setattr__(self, key, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[key] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[key] = value
+        object.__setattr__(self, key, value)
+
+    def register_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # -- traversal ---------------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, p in self._parameters.items():
+            yield (f"{prefix}{name}", p)
+        for mod_name, mod in self._modules.items():
+            yield from mod.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- modes -------------------------------------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for mod in self._modules.values():
+            mod.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # -- state -------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={missing} unexpected={unexpected}")
+        for name, arr in state.items():
+            if own[name].data.shape != arr.shape:
+                raise ValueError(f"shape mismatch for {name}")
+            own[name].data = arr.copy()
+
+    def num_parameters(self) -> int:
+        return sum(p.data.size for p in self.parameters())

@@ -1,0 +1,111 @@
+"""Relational GCN for heterogeneous graphs (the paper's RGCN-hetero on AM).
+
+Each relation ``r`` carries its own weight matrix; a layer computes
+
+    h' = act( Σ_r (A_r @ h) * norm_r @ W_r  +  h @ W_self + b )
+
+i.e. one aggregation primitive invocation per relation — which is why the
+AM bar of paper Fig. 2(d) is still AP-dominated, and why our single-socket
+benchmark runs R-GCN through the very same kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class RelGraphConv(Module):
+    """One R-GCN layer over a dict of relation graphs."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        relation_names: List[str],
+        activation: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.relation_names = list(relation_names)
+        for rel in self.relation_names:
+            self.register_module(
+                f"w_{rel}", Linear(in_features, out_features, bias=False, rng=rng)
+            )
+        self.self_loop = Linear(in_features, out_features, rng=rng)
+        self.activation = activation
+
+    def __call__(
+        self,
+        relations: Dict[str, CSRGraph],
+        h: Tensor,
+        norms: Dict[str, Tensor],
+    ) -> Tensor:
+        out = self.self_loop(h)
+        for rel in self.relation_names:
+            graph = relations.get(rel)
+            if graph is None or graph.num_edges == 0:
+                continue
+            z = F.spmm(graph, h)
+            z = F.mul(z, norms[rel])
+            w: Linear = getattr(self, f"w_{rel}")
+            out = F.add(out, w(z))
+        if self.activation:
+            out = F.relu(out)
+        return out
+
+
+class RGCN(Module):
+    """Stacked R-GCN for heterogeneous vertex classification."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int,
+        num_classes: int,
+        relation_names: List[str],
+        num_layers: int = 2,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        dims = [in_features] + [hidden_features] * (num_layers - 1) + [num_classes]
+        self.layers: List[RelGraphConv] = []
+        for i in range(num_layers):
+            layer = RelGraphConv(
+                dims[i],
+                dims[i + 1],
+                relation_names,
+                activation=(i < num_layers - 1),
+                rng=rng,
+            )
+            self.register_module(f"layer{i}", layer)
+            self.layers.append(layer)
+
+    def __call__(
+        self,
+        relations: Dict[str, CSRGraph],
+        features: Tensor,
+        norms: Dict[str, Tensor],
+    ) -> Tensor:
+        h = features
+        for layer in self.layers:
+            h = layer(relations, h, norms)
+        return h
+
+
+def relation_norms(relations: Dict[str, CSRGraph]) -> Dict[str, Tensor]:
+    """Per-relation ``1/max(in_degree, 1)`` normalizers."""
+    norms = {}
+    for rel, g in relations.items():
+        deg = g.in_degrees().astype(np.float32)
+        norms[rel] = Tensor((1.0 / np.maximum(deg, 1.0)).reshape(-1, 1))
+    return norms

@@ -1,0 +1,40 @@
+"""Persistence for partitionings.
+
+Partitioning OGBN-Papers takes the paper minutes; production workflows
+partition once and train many times.  A saved partitioning stores the
+original graph, the edge assignment, and the partition count — the
+partition structures are rebuilt deterministically on load (they are a
+pure function of those three inputs).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.io import load_graph, save_graph
+from repro.partition.partition import PartitionedGraph, build_partitions
+
+
+def save_partitioning(path: str, parted: PartitionedGraph) -> None:
+    """Save a partitioning (graph + assignment) to ``path`` (npz)."""
+    save_graph(
+        path,
+        parted.graph,
+        partition_assignment=parted.assignment,
+        num_partitions=np.asarray(parted.num_partitions),
+    )
+
+
+def load_partitioning(path: str, include_isolated: bool = True) -> PartitionedGraph:
+    """Load and rebuild a partitioning saved by :func:`save_partitioning`."""
+    graph, extras = load_graph(path)
+    if "partition_assignment" not in extras:
+        raise ValueError(f"{path!r} does not contain a partitioning")
+    assignment = extras["partition_assignment"]
+    num_partitions = int(extras["num_partitions"])
+    return build_partitions(
+        graph, assignment, num_partitions, include_isolated=include_isolated
+    )

@@ -1,0 +1,300 @@
+"""End-to-end epoch-time model (Figs. 5 and 6).
+
+The model composes, per layer and per partition:
+
+- **LAT** (local aggregation time): AP roofline over the partition's
+  edges at the layer's feature width;
+- **RAT** (remote aggregation time): the gather/scatter pre/post-
+  processing of the split-vertex exchange (memory-bound at gather
+  efficiency) plus — for cd-0, whose communication is exposed — the
+  network time of the up+down volume.  cd-r overlaps the wire time
+  ("a negligible amount of time is spent waiting", Section 6.3) and
+  touches only ``1/r`` of the trees per epoch;
+- MLP time (GEMM roofline) and the AllReduce of the weight gradients;
+- a backward multiplier (one more AP pass per layer plus GEMM adjoints).
+
+Structural inputs (replication factor, split fraction, edge balance) come
+from *actually partitioning* the scaled stand-in graphs with Libra; the
+|V|/|E|/d scales come from the paper's Table 2 so the modelled times are
+in paper-comparable seconds.  Single-socket runs that exceed one NUMA
+domain's memory get the paper's observed NUMA derate (Section 6.3 notes
+both Proteins and OGBN-Papers single-socket runs are slowed this way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.comm.netmodel import HDR_200G, NetworkModel
+from repro.perf.hardware import SocketSpec, XEON_9242
+from repro.perf.roofline import ap_kernel_time, dense_layer_time
+
+FLOAT_BYTES = 4
+#: Gather/scatter pre/post-processing runs at a fraction of stream BW
+#: (random row access); calibrated to put OGBN-Papers' RAT above its LAT
+#: as in Fig. 6.
+GATHER_EFFICIENCY = 0.25
+#: Memory local to one socket (paper: "98 GB of memory per socket");
+#: footprints beyond this spill into remote NUMA domains.
+NODE_MEMORY_BYTES = 98e9
+#: Derate applied when a run's footprint spills across NUMA domains;
+#: the second tier covers runs several times the socket's local memory
+#: (the paper's OGBN-Papers single socket needs 1.4 TB on a 98 GB socket).
+NUMA_BW_DERATE = 0.55
+NUMA_BW_DERATE_SEVERE = 0.35
+NUMA_SEVERE_FACTOR = 3.0
+#: Fixed per-AP-invocation overhead (OpenMP fork/join, small-matrix
+#: inefficiency); bounds strong-scaling as partitions shrink.
+KERNEL_OVERHEAD_S = 4e-3
+#: Effective fraction of line rate the synchronous split-vertex AlltoAllv
+#: sustains.  Below the generic collective efficiency because the exchange
+#: moves scattered per-vertex rows (poor coalescing) — this is why the
+#: paper's cd-0 barely scales on Reddit.  A single constant cannot match
+#: all three fabrics' residuals exactly; 0.3 centres the family (see
+#: EXPERIMENTS.md for per-dataset deviation).
+EXCHANGE_EFFICIENCY = 0.3
+
+
+@dataclass(frozen=True)
+class DatasetScale:
+    """Paper-scale workload parameters."""
+
+    name: str
+    num_vertices: float
+    num_edges: float
+    feature_dim: int
+    hidden_dims: Sequence[int]
+    num_classes: int
+    #: measured f_V cache reuse of the optimized kernel (from cachesim).
+    cache_reuse: float = 4.0
+
+    @property
+    def layer_widths(self) -> List[int]:
+        return [self.feature_dim] + list(self.hidden_dims)
+
+    @property
+    def out_widths(self) -> List[int]:
+        return list(self.hidden_dims) + [self.num_classes]
+
+
+@dataclass(frozen=True)
+class PartitionProfile:
+    """Structural measurements at one partition count (from Libra on the
+    stand-in, assumed scale-free)."""
+
+    num_partitions: int
+    replication_factor: float
+    split_fraction: float  # split vertices / partition vertices
+    edge_balance: float = 1.0
+
+
+@dataclass
+class EpochBreakdown:
+    """Per-epoch modelled times (seconds) for one configuration."""
+
+    algorithm: str
+    num_partitions: int
+    lat_forward: float
+    rat_pre_post: float
+    rat_comm: float
+    mlp: float
+    backward: float
+    allreduce: float
+
+    @property
+    def rat_total(self) -> float:
+        return self.rat_pre_post + self.rat_comm
+
+    @property
+    def total(self) -> float:
+        return (
+            self.lat_forward
+            + self.rat_total
+            + self.mlp
+            + self.backward
+            + self.allreduce
+        )
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a Fig. 5 curve."""
+
+    algorithm: str
+    num_partitions: int
+    epoch_time_s: float
+    speedup_vs_single: float
+
+
+class EpochModel:
+    """Epoch-time model for one dataset across partition counts."""
+
+    def __init__(
+        self,
+        scale: DatasetScale,
+        profiles: Dict[int, PartitionProfile],
+        socket: SocketSpec = XEON_9242,
+        network: NetworkModel = HDR_200G,
+    ):
+        self.scale = scale
+        self.profiles = dict(profiles)
+        self.socket = socket
+        self.network = network
+
+    # -- memory-driven NUMA derate ---------------------------------------------
+
+    def _numa_factor(self, num_partitions: int) -> float:
+        """BW derate when the per-partition footprint exceeds one NUMA
+        domain (paper: Papers at 1/32/64 sockets, Proteins at 1)."""
+        s = self.scale
+        prof = self._profile(num_partitions)
+        n_p = s.num_vertices * prof.replication_factor / num_partitions
+        e_p = s.num_edges / num_partitions
+        widths = sum(s.layer_widths) + sum(s.out_widths)
+        # activations retained for backprop (x2 for gradient buffers and
+        # optimizer state) + CSR structure (~12 B/edge)
+        footprint = 2.0 * n_p * widths * FLOAT_BYTES + e_p * 12.0
+        if footprint > NUMA_SEVERE_FACTOR * NODE_MEMORY_BYTES:
+            return 1.0 / NUMA_BW_DERATE_SEVERE
+        if footprint > NODE_MEMORY_BYTES:
+            return 1.0 / NUMA_BW_DERATE
+        return 1.0
+
+    def _profile(self, num_partitions: int) -> PartitionProfile:
+        if num_partitions in self.profiles:
+            return self.profiles[num_partitions]
+        if num_partitions == 1:
+            return PartitionProfile(1, 1.0, 0.0)
+        raise KeyError(
+            f"no partition profile for P={num_partitions}; "
+            f"have {sorted(self.profiles)}"
+        )
+
+    # -- per-configuration breakdown -----------------------------------------------
+
+    def breakdown(self, num_partitions: int, algorithm: str) -> EpochBreakdown:
+        s = self.scale
+        prof = self._profile(num_partitions)
+        numa = self._numa_factor(num_partitions)
+        algo = algorithm.lower()
+        delay = _delay_of(algo)
+
+        edges_p = s.num_edges / num_partitions * prof.edge_balance
+        verts_p = s.num_vertices * prof.replication_factor / num_partitions
+        split_p = verts_p * prof.split_fraction
+
+        lat = 0.0
+        pre_post = 0.0
+        comm = 0.0
+        mlp = 0.0
+        for w_in, w_out in zip(s.layer_widths, s.out_widths):
+            vec = w_in * FLOAT_BYTES
+            bytes_moved = (
+                edges_p / max(s.cache_reuse, 1.0) * vec  # f_V gathers
+                + 2.0 * verts_p * vec  # f_O read+write
+                + edges_p * 8.0  # CSR indices
+            ) * numa
+            lat += (
+                ap_kernel_time(
+                    edges_p, w_in, bytes_moved, self.socket, reordered=True
+                )
+                + KERNEL_OVERHEAD_S
+            )
+            mlp += dense_layer_time(verts_p, w_in, w_out, self.socket)
+            if algo != "0c" and split_p > 0:
+                active = split_p / max(delay, 1)
+                row_bytes = active * vec
+                # gather + scatter on both ends, up and down = 4 row passes
+                pre_post += (
+                    4.0 * row_bytes / (self.socket.mem_bw_Bps * GATHER_EFFICIENCY)
+                ) * numa
+                if algo in ("cd-0", "cd0"):
+                    # synchronous: the up+down wire time is exposed, at the
+                    # scattered-row exchange rate (see EXCHANGE_EFFICIENCY)
+                    wire = self.network.bandwidth_Bps * EXCHANGE_EFFICIENCY
+                    comm += (
+                        self.network.latency_s * num_partitions
+                        + 2.0 * row_bytes / wire
+                    )
+
+        allreduce = 0.0
+        if num_partitions > 1:
+            w_elems = sum(a * b for a, b in zip(s.layer_widths, s.out_widths))
+            allreduce = self.network.collective_time(
+                2.0 * w_elems * FLOAT_BYTES
+            )
+
+        # Backward: one AP transpose pass per layer except layer 0, plus
+        # two GEMM adjoints per layer; gradient sync doubles cd-0's comm.
+        n_layers = len(s.layer_widths)
+        backward = lat * (n_layers - 1) / n_layers + 2.0 * mlp
+        if algo in ("cd-0", "cd0"):
+            backward += comm + pre_post
+        return EpochBreakdown(
+            algorithm=algorithm,
+            num_partitions=num_partitions,
+            lat_forward=lat,
+            rat_pre_post=pre_post,
+            rat_comm=comm,
+            mlp=mlp,
+            backward=backward,
+            allreduce=allreduce,
+        )
+
+    # -- Fig. 5 curves ---------------------------------------------------------------
+
+    def single_socket_time(self) -> float:
+        """Optimized single-socket epoch time (the speedup denominator)."""
+        return self.breakdown(1, "0c").total
+
+    def scaling_curve(
+        self, partition_counts: Sequence[int], algorithms: Sequence[str]
+    ) -> List[ScalingPoint]:
+        base = self.single_socket_time()
+        points = []
+        for p in partition_counts:
+            for algo in algorithms:
+                t = self.breakdown(p, algo).total
+                points.append(
+                    ScalingPoint(
+                        algorithm=algo,
+                        num_partitions=p,
+                        epoch_time_s=t,
+                        speedup_vs_single=base / t if t > 0 else float("inf"),
+                    )
+                )
+        return points
+
+
+def _delay_of(algo: str) -> int:
+    if algo.startswith("cd-"):
+        return max(int(algo[3:]), 1) if algo[3:].isdigit() else 1
+    return 1
+
+
+def profiles_from_standin(
+    graph,
+    partition_counts: Sequence[int],
+    seed: int = 0,
+) -> Dict[int, PartitionProfile]:
+    """Measure partition profiles by running Libra on a stand-in graph.
+
+    The replication-factor curve of a vertex-cut partitioner depends on
+    degree structure rather than absolute size, so stand-in measurements
+    transfer to paper scale (our Table 4 reproduction validates this).
+    """
+    from repro.partition import build_partitions, libra_partition, partition_stats
+
+    profiles = {}
+    for p in partition_counts:
+        asn = libra_partition(graph, p, seed=seed)
+        parted = build_partitions(graph, asn, p)
+        st = partition_stats(parted)
+        profiles[p] = PartitionProfile(
+            num_partitions=p,
+            replication_factor=st.replication_factor,
+            split_fraction=st.avg_split_fraction_per_partition,
+            edge_balance=st.edge_balance,
+        )
+    return profiles

@@ -1,0 +1,62 @@
+"""CPU socket presets matching the paper's testbeds (Section 6.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SocketSpec:
+    """One CPU socket's performance envelope."""
+
+    name: str
+    cores: int
+    frequency_Hz: float
+    #: sustained memory bandwidth (bytes/s); the paper quotes 128 GB/s
+    #: theoretical peak for the 8280 machine.
+    mem_bw_Bps: float
+    #: fp32 FMA lanes per core (AVX-512: 2 FMA units x 16 lanes).
+    simd_fp32_per_core: int = 64
+    #: achievable fraction of peak flops for SpMM-like kernels.
+    flops_efficiency: float = 0.25
+    #: achievable fraction of peak bandwidth for gather-heavy kernels.
+    bw_efficiency: float = 0.75
+    #: cores reserved for the communication library ("two cores on each
+    #: socket are dedicated to OneCCL").
+    reserved_cores: int = 0
+
+    @property
+    def usable_cores(self) -> int:
+        return max(self.cores - self.reserved_cores, 1)
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak fp32 flops of the usable cores."""
+        return self.usable_cores * self.frequency_Hz * self.simd_fp32_per_core
+
+    @property
+    def effective_flops(self) -> float:
+        return self.peak_flops * self.flops_efficiency
+
+    @property
+    def effective_bw(self) -> float:
+        return self.mem_bw_Bps * self.bw_efficiency
+
+
+#: Single-socket testbed: Xeon Platinum 8280 @2.70 GHz, 28 cores, 128 GB/s.
+XEON_8280 = SocketSpec(
+    name="xeon-8280",
+    cores=28,
+    frequency_Hz=2.70e9,
+    mem_bw_Bps=128e9,
+)
+
+#: Cluster socket: Xeon Platinum 9242 @2.30 GHz, 48 cores, ~140 GB/s/socket,
+#: two cores reserved for OneCCL in multi-socket runs.
+XEON_9242 = SocketSpec(
+    name="xeon-9242",
+    cores=48,
+    frequency_Hz=2.30e9,
+    mem_bw_Bps=140e9,
+    reserved_cores=2,
+)

@@ -1,0 +1,91 @@
+"""Aggregation work counting — the paper's own metric (Tables 7/8).
+
+"The total work per hop is calculated as the product of number of
+vertices, feature size, and average vertex degree" (Section 6.3).  For
+full-batch DistGNN every hop touches every partition vertex with its full
+average degree; feature width per hop follows the model shape
+(f, h1, h2 = 100, 256, 256 for OGBN-Products).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class LayerWork:
+    """Work of one hop/layer of aggregation."""
+
+    hop: int
+    num_vertices: float
+    avg_degree: float
+    feature_dim: int
+
+    @property
+    def ops(self) -> float:
+        """vertices x degree x feats (the paper's op count)."""
+        return self.num_vertices * self.avg_degree * self.feature_dim
+
+    @property
+    def b_ops(self) -> float:
+        return self.ops / 1e9
+
+
+def full_batch_work(
+    num_vertices: float,
+    avg_degree: float,
+    feature_dims: Sequence[int],
+) -> List[LayerWork]:
+    """Per-hop work of full-batch training on one partition (Table 8).
+
+    ``feature_dims`` is ordered hop-(L-1) .. hop-0 input widths; for the
+    paper's 3-layer GraphSAGE on OGBN-Products that is ``(100, 256, 256)``.
+    """
+    layers = []
+    n_hops = len(feature_dims)
+    for i, dim in enumerate(feature_dims):
+        hop = n_hops - 1 - i
+        layers.append(
+            LayerWork(
+                hop=hop,
+                num_vertices=num_vertices,
+                avg_degree=avg_degree,
+                feature_dim=dim,
+            )
+        )
+    return layers
+
+
+def total_work_bops(layers: Sequence[LayerWork]) -> float:
+    """Total billions of ops across hops."""
+    return sum(l.b_ops for l in layers)
+
+
+#: OGBN-Products parameters used in Tables 7-9.
+PRODUCTS_NUM_VERTICES = 2_449_029
+PRODUCTS_AVG_DEGREE = 51.5
+PRODUCTS_FEATURE_DIMS = (100, 256, 256)
+PRODUCTS_TRAIN_VERTICES = 196_615
+
+
+#: Libra replication factors for OGBN-Products (paper Table 4).
+PRODUCTS_REPLICATION = {1: 1.0, 2: 1.49, 4: 2.16, 8: 2.98, 16: 3.90, 32: 4.85, 64: 5.74}
+
+
+def products_partition_vertices(num_sockets: int) -> float:
+    """Per-partition vertex count *including clones* (paper's 596,499 at
+    16 sockets = |V| x rf(16) / 16)."""
+    rf = PRODUCTS_REPLICATION.get(num_sockets, 1.0)
+    return PRODUCTS_NUM_VERTICES * rf / num_sockets
+
+
+def products_full_batch_bops(num_sockets: int = 1) -> float:
+    """Table 8's total B Ops per socket at a given socket count.
+
+    The paper charges every partition vertex (clones included) the full
+    average degree — its own accounting convention, which we match.
+    """
+    verts = products_partition_vertices(num_sockets)
+    layers = full_batch_work(verts, PRODUCTS_AVG_DEGREE, PRODUCTS_FEATURE_DIMS)
+    return total_work_bops(layers)

@@ -1,0 +1,84 @@
+"""Analytic cache model vs exact LRU."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.analytic import (
+    analytic_misses,
+    analytic_reuse,
+    block_access_profiles,
+    cache_vectors_for,
+)
+from repro.cachesim.lru import simulate_lru_reuse
+from repro.graph.generators import rmat_graph, sbm_graph
+
+
+class TestProfiles:
+    def test_edges_partitioned(self, small_rmat):
+        profiles = block_access_profiles(small_rmat, 4)
+        assert sum(p.num_edges for p in profiles) == small_rmat.num_edges
+
+    def test_distinct_sources_bounded(self, small_rmat):
+        for p in block_access_profiles(small_rmat, 4):
+            assert p.distinct_sources <= p.num_edges or p.num_edges == 0
+
+    def test_single_block(self, small_rmat):
+        (p,) = block_access_profiles(small_rmat, 1)
+        assert p.num_edges == small_rmat.num_edges
+        assert p.distinct_sources == np.unique(small_rmat.indices).size
+
+
+class TestMisses:
+    def test_big_cache_cold_only(self, small_rmat):
+        profiles = block_access_profiles(small_rmat, 1)
+        misses = analytic_misses(profiles, 10**6)
+        assert misses == np.unique(small_rmat.indices).size
+
+    def test_small_cache_adds_thrash(self, small_rmat):
+        profiles = block_access_profiles(small_rmat, 1)
+        big = analytic_misses(profiles, 10**6)
+        small = analytic_misses(profiles, 4)
+        assert small > big
+
+    def test_misses_bounded_by_accesses(self, small_rmat):
+        profiles = block_access_profiles(small_rmat, 2)
+        misses = analytic_misses(profiles, 8)
+        assert misses <= small_rmat.num_edges + 1e-9
+
+
+class TestAgainstLRU:
+    @pytest.mark.parametrize("nb", [1, 4, 16])
+    def test_tracks_lru_within_factor(self, nb):
+        g = sbm_graph([400], p_in=0.15, p_out=0.0, seed=0)
+        cache = 50
+        lru = simulate_lru_reuse(g, nb, cache).reuse
+        model = analytic_reuse(g, nb, cache)
+        assert model == pytest.approx(lru, rel=0.6)
+
+    def test_monotone_trend_matches(self):
+        """The model must rank blocked above unblocked when LRU does."""
+        g = sbm_graph([400], p_in=0.2, p_out=0.0, seed=1)
+        cache = 40
+        lru_gain = (
+            simulate_lru_reuse(g, 8, cache).reuse
+            / simulate_lru_reuse(g, 1, cache).reuse
+        )
+        model_gain = analytic_reuse(g, 8, cache) / analytic_reuse(g, 1, cache)
+        assert (lru_gain > 1.0) == (model_gain > 1.0)
+
+
+class TestCacheSizing:
+    def test_literal_capacity(self):
+        cv = cache_vectors_for(1000, feature_dim=100, llc_bytes=40_000)
+        assert cv == 40_000 // 400
+
+    def test_pressure_scaling(self):
+        # paper-pressure scaling: ratio of f_V to cache preserved
+        cv = cache_vectors_for(
+            1000, feature_dim=100, llc_bytes=1_000_000, paper_fv_bytes=10_000_000
+        )
+        # fv=400KB at 10x pressure -> effective cache 40KB -> 100 vectors
+        assert cv == 100
+
+    def test_minimum_one(self):
+        assert cache_vectors_for(10, 10_000, llc_bytes=1) == 1

@@ -1,0 +1,103 @@
+"""Exact LRU cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.lru import LRUFeatureCache, simulate_lru_reuse
+from repro.graph.generators import sbm_graph
+
+
+class TestLRUFeatureCache:
+    def test_cold_misses(self):
+        c = LRUFeatureCache(4)
+        for k in range(4):
+            assert not c.access(k)
+        assert c.misses == 4 and c.hits == 0
+
+    def test_hit_on_resident(self):
+        c = LRUFeatureCache(4)
+        c.access(1)
+        assert c.access(1)
+        assert c.hits == 1
+
+    def test_lru_eviction_order(self):
+        c = LRUFeatureCache(2)
+        c.access(0)
+        c.access(1)
+        c.access(0)  # refresh 0 -> 1 becomes LRU
+        c.access(2)  # evicts 1
+        assert c.access(0)  # still resident
+        assert not c.access(1)  # evicted
+
+    def test_capacity_one(self):
+        c = LRUFeatureCache(1)
+        c.access(0)
+        c.access(1)
+        assert not c.access(0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LRUFeatureCache(0)
+
+    def test_access_many(self):
+        c = LRUFeatureCache(10)
+        misses = c.access_many(np.array([1, 2, 1, 3, 2]))
+        assert misses == 3
+        assert c.accesses == 5
+
+    def test_reset(self):
+        c = LRUFeatureCache(2)
+        c.access(0)
+        c.reset()
+        assert c.accesses == 0
+        assert not c.access(0) and c.misses == 1
+
+
+class TestSimulateReuse:
+    def test_infinite_cache_gives_ideal_fv_reuse(self, small_rmat):
+        res = simulate_lru_reuse(
+            small_rmat, 1, cache_vectors=10**6, include_outputs=False
+        )
+        # every f_V row fetched once -> fv_reuse == edges / distinct sources
+        distinct = np.unique(small_rmat.indices).size
+        assert res.misses == distinct
+        assert res.fv_reuse == pytest.approx(small_rmat.num_edges / distinct)
+
+    def test_tiny_cache_no_reuse(self, small_rmat):
+        res = simulate_lru_reuse(small_rmat, 1, cache_vectors=1)
+        assert res.reuse < 1.5
+
+    def test_blocking_improves_reuse_under_pressure(self):
+        # dense graph whose working set exceeds the cache
+        g = sbm_graph([512], p_in=0.25, p_out=0.0, seed=0)
+        cache = 64
+        flat = simulate_lru_reuse(g, 1, cache)
+        blocked = simulate_lru_reuse(g, 8, cache)
+        assert blocked.reuse > flat.reuse
+
+    def test_reuse_falls_at_excessive_blocking(self):
+        """The f_O pass cost eventually dominates (paper Table 3 falloff)."""
+        g = sbm_graph([512], p_in=0.25, p_out=0.0, seed=0)
+        cache = 64
+        results = {nb: simulate_lru_reuse(g, nb, cache).reuse for nb in (1, 8, 128)}
+        assert results[8] > results[1]
+        assert results[128] < results[8]
+
+    def test_fo_reads_grow_with_blocks(self, small_rmat):
+        few = simulate_lru_reuse(small_rmat, 1, 32)
+        many = simulate_lru_reuse(small_rmat, 16, 32)
+        assert many.fo_reads > few.fo_reads
+
+    def test_accesses_equal_edges(self, small_rmat):
+        for nb in (1, 4):
+            res = simulate_lru_reuse(small_rmat, nb, 32)
+            assert res.accesses == small_rmat.num_edges
+
+    def test_outputs_pollute_cache(self, small_rmat):
+        with_out = simulate_lru_reuse(small_rmat, 2, 32, include_outputs=True)
+        without = simulate_lru_reuse(small_rmat, 2, 32, include_outputs=False)
+        assert with_out.misses >= without.misses
+
+    def test_miss_rate(self, small_rmat):
+        res = simulate_lru_reuse(small_rmat, 2, 32)
+        assert 0.0 < res.miss_rate <= 1.0

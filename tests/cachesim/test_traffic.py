@@ -1,0 +1,70 @@
+"""Memory-traffic accounting."""
+
+import pytest
+
+from repro.cachesim.traffic import ap_traffic, traffic_for_kernel
+from repro.graph.generators import sbm_graph
+
+
+@pytest.fixture
+def dense_graph():
+    return sbm_graph([300], p_in=0.2, p_out=0.0, seed=0)
+
+
+class TestApTraffic:
+    def test_cold_cache_reads_every_edge(self, dense_graph):
+        t = ap_traffic(dense_graph, feature_dim=10, cache_vectors=None)
+        # f_V gather bytes = E * d * 4
+        assert t.fv_misses == dense_graph.num_edges
+
+    def test_warm_cache_reads_less(self, dense_graph):
+        cold = ap_traffic(dense_graph, 10, cache_vectors=None)
+        warm = ap_traffic(dense_graph, 10, cache_vectors=10**6)
+        assert warm.bytes_read < cold.bytes_read
+
+    def test_more_blocks_more_fo_traffic(self, dense_graph):
+        one = ap_traffic(dense_graph, 10, num_blocks=1, cache_vectors=10**6)
+        many = ap_traffic(dense_graph, 10, num_blocks=8, cache_vectors=10**6)
+        assert many.bytes_written >= one.bytes_written
+
+    def test_total_is_sum(self, dense_graph):
+        t = ap_traffic(dense_graph, 10, cache_vectors=50)
+        assert t.total == t.bytes_read + t.bytes_written
+
+    def test_copyrhs_streams_edges(self, dense_graph):
+        lhs = ap_traffic(dense_graph, 10, cache_vectors=50, binary_op="copylhs")
+        rhs = ap_traffic(dense_graph, 10, cache_vectors=50, binary_op="copyrhs")
+        # copyrhs doesn't gather f_V but streams f_E
+        assert rhs.fv_misses == lhs.fv_misses  # misses computed, not charged
+        assert rhs.bytes_read != lhs.bytes_read
+
+
+class TestVariants:
+    def test_sweet_spot_exists(self, dense_graph):
+        """Total IO should be non-monotone in nB under pressure (Fig. 3)."""
+        cache = 30
+        totals = {
+            nb: ap_traffic(dense_graph, 10, num_blocks=nb, cache_vectors=cache).total
+            for nb in (1, 4, 16, 64)
+        }
+        best = min(totals, key=totals.get)
+        assert best not in (64,)  # too many blocks pays f_O passes
+
+    def test_baseline_equals_dynamic(self, dense_graph):
+        a = traffic_for_kernel(dense_graph, 10, "baseline", 30)
+        b = traffic_for_kernel(dense_graph, 10, "dynamic", 30)
+        assert a.total == b.total
+
+    def test_blocked_equals_reordered(self, dense_graph):
+        a = traffic_for_kernel(dense_graph, 10, "blocked", 30, num_blocks=8)
+        b = traffic_for_kernel(dense_graph, 10, "reordered", 30, num_blocks=8)
+        assert a.total == b.total
+
+    def test_blocking_reduces_io_under_pressure(self, dense_graph):
+        base = traffic_for_kernel(dense_graph, 10, "baseline", 30)
+        blk = traffic_for_kernel(dense_graph, 10, "blocked", 30, num_blocks=8)
+        assert blk.total < base.total
+
+    def test_unknown_variant(self, dense_graph):
+        with pytest.raises(ValueError, match="unknown variant"):
+            traffic_for_kernel(dense_graph, 10, "gpu", 30)

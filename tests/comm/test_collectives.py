@@ -1,0 +1,102 @@
+"""Collective operations."""
+
+import numpy as np
+import pytest
+
+from repro.comm import World, all_gather, all_reduce, all_to_all, broadcast
+from repro.comm.collectives import barrier
+
+
+class TestAllReduce:
+    def test_sum(self):
+        w = World(3)
+        arrays = [np.full(4, float(r)) for r in range(3)]
+        out = all_reduce(w, arrays, op="sum")
+        for o in out:
+            assert np.array_equal(o, np.full(4, 3.0))
+
+    @pytest.mark.parametrize("op,expected", [("mean", 1.0), ("max", 2.0), ("min", 0.0)])
+    def test_other_ops(self, op, expected):
+        w = World(3)
+        arrays = [np.full(2, float(r)) for r in range(3)]
+        out = all_reduce(w, arrays, op=op)
+        assert np.all(out[0] == expected)
+
+    def test_output_independent_copies(self):
+        w = World(2)
+        out = all_reduce(w, [np.zeros(2), np.zeros(2)])
+        out[0][0] = 99
+        assert out[1][0] == 0
+
+    def test_shape_mismatch(self):
+        w = World(2)
+        with pytest.raises(ValueError, match="identical shapes"):
+            all_reduce(w, [np.zeros(2), np.zeros(3)])
+
+    def test_wrong_rank_count(self):
+        w = World(3)
+        with pytest.raises(ValueError, match="per rank"):
+            all_reduce(w, [np.zeros(1)] * 2)
+
+    def test_unknown_op(self):
+        w = World(2)
+        with pytest.raises(ValueError):
+            all_reduce(w, [np.zeros(1)] * 2, op="median")
+
+    def test_ring_byte_accounting(self):
+        w = World(4)
+        all_reduce(w, [np.zeros(100, dtype=np.float32)] * 4)
+        expected = int(2 * 3 / 4 * 400)
+        assert w.counters.bytes_sent[0] == expected
+
+    def test_single_rank_free(self):
+        w = World(1)
+        all_reduce(w, [np.ones(5)])
+        assert w.counters.total_bytes == 0
+
+
+class TestAllToAll:
+    def test_transpose_semantics(self):
+        w = World(3)
+        send = [
+            [np.array([i * 10 + j]) for j in range(3)] for i in range(3)
+        ]
+        recv = all_to_all(w, send)
+        for j in range(3):
+            for i in range(3):
+                assert recv[j][i][0] == i * 10 + j
+
+    def test_variable_sizes(self):
+        w = World(2)
+        send = [
+            [np.zeros(0), np.ones(5)],
+            [np.ones(3), np.zeros(0)],
+        ]
+        recv = all_to_all(w, send)
+        assert recv[1][0].size == 5
+        assert recv[0][1].size == 3
+
+    def test_bad_matrix(self):
+        w = World(2)
+        with pytest.raises(ValueError, match="PxP"):
+            all_to_all(w, [[np.zeros(1)], [np.zeros(1)]])
+
+
+class TestOthers:
+    def test_all_gather(self):
+        w = World(3)
+        out = all_gather(w, [np.array([r]) for r in range(3)])
+        for r in range(3):
+            assert [int(a[0]) for a in out[r]] == [0, 1, 2]
+
+    def test_broadcast(self):
+        w = World(4)
+        out = broadcast(w, np.arange(3), root=1)
+        assert all(np.array_equal(o, np.arange(3)) for o in out)
+        assert w.counters.bytes_sent[1] > 0
+        assert w.counters.bytes_sent[0] == 0
+
+    def test_barrier_records(self):
+        w = World(2)
+        barrier(w)
+        assert w.counters.collective_calls["barrier"] == 1

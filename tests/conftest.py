@@ -1,0 +1,53 @@
+"""Shared fixtures: small deterministic graphs and datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.builders import from_edge_list
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import load_dataset
+from repro.graph.generators import rmat_graph, sbm_graph
+
+
+@pytest.fixture
+def tiny_graph() -> CSRGraph:
+    """5 vertices, 7 edges, one high-degree destination, one isolated."""
+    return from_edge_list(
+        [(0, 1), (2, 1), (3, 1), (0, 3), (1, 0), (3, 0), (1, 2)],
+        num_vertices=5,
+    )
+
+
+@pytest.fixture
+def line_graph() -> CSRGraph:
+    """0 -> 1 -> 2 -> 3 directed chain."""
+    return from_edge_list([(0, 1), (1, 2), (2, 3)], num_vertices=4)
+
+
+@pytest.fixture
+def small_rmat() -> CSRGraph:
+    return rmat_graph(scale=8, edge_factor=8.0, seed=3)
+
+
+@pytest.fixture
+def small_sbm() -> CSRGraph:
+    return sbm_graph([50, 50, 50], p_in=0.2, p_out=0.01, seed=7)
+
+
+@pytest.fixture
+def small_features(small_rmat) -> np.ndarray:
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((small_rmat.num_src, 8)).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def reddit_mini():
+    """Small Reddit stand-in shared across tests (session-cached)."""
+    return load_dataset("reddit", scale=0.08, seed=1)
+
+
+@pytest.fixture(scope="session")
+def products_mini():
+    return load_dataset("ogbn-products", scale=0.05, seed=1)

@@ -1,0 +1,120 @@
+"""CLI smoke tests (driven through main(), no subprocess)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info(capsys):
+    assert main(["info", "--dataset", "reddit", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "reddit" in out and "density" in out
+
+
+def test_partition(capsys):
+    assert (
+        main(
+            [
+                "partition",
+                "--dataset",
+                "reddit",
+                "--scale",
+                "0.05",
+                "--partitions",
+                "3",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "replication factor" in out
+
+
+def test_partition_baselines(capsys):
+    for p in ("random", "hash"):
+        assert (
+            main(
+                [
+                    "partition",
+                    "--dataset",
+                    "reddit",
+                    "--scale",
+                    "0.05",
+                    "--partitioner",
+                    p,
+                ]
+            )
+            == 0
+        )
+
+
+def test_train_single(capsys, tmp_path):
+    ckpt = str(tmp_path / "m.npz")
+    rc = main(
+        [
+            "train",
+            "--dataset",
+            "reddit",
+            "--scale",
+            "0.05",
+            "--epochs",
+            "3",
+            "--checkpoint",
+            ckpt,
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "final test accuracy" in out
+    import os
+
+    assert os.path.exists(ckpt)
+
+
+def test_train_distributed(capsys):
+    rc = main(
+        [
+            "train",
+            "--dataset",
+            "reddit",
+            "--scale",
+            "0.05",
+            "--epochs",
+            "3",
+            "--partitions",
+            "2",
+            "--algorithm",
+            "cd-2",
+            "--compression",
+            "bf16",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "replication factor" in out
+
+
+def test_sample(capsys):
+    rc = main(
+        [
+            "sample",
+            "--dataset",
+            "reddit",
+            "--scale",
+            "0.05",
+            "--epochs",
+            "2",
+            "--batch-size",
+            "64",
+            "--fanouts",
+            "5",
+            "5",
+        ]
+    )
+    assert rc == 0
+    assert "sampled work" in capsys.readouterr().out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,65 @@
+"""Metrics and stopwatch."""
+
+import time
+
+import pytest
+
+from repro.core.metrics import EpochStats, Stopwatch, TrainResult
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw.time("a"):
+            time.sleep(0.002)
+        with sw.time("a"):
+            time.sleep(0.002)
+        assert sw.get("a") >= 0.004
+
+    def test_phases_independent(self):
+        sw = Stopwatch()
+        sw.add("x", 1.0)
+        sw.add("y", 2.0)
+        assert sw.get("x") == 1.0 and sw.get("y") == 2.0
+
+    def test_missing_phase_zero(self):
+        assert Stopwatch().get("nope") == 0.0
+
+    def test_reset(self):
+        sw = Stopwatch()
+        sw.add("a", 1.0)
+        sw.reset()
+        assert sw.get("a") == 0.0
+
+
+class TestTrainResult:
+    def _result(self, times):
+        r = TrainResult()
+        for i, t in enumerate(times):
+            r.epochs.append(EpochStats(epoch=i, loss=1.0 / (i + 1), total_time_s=t))
+        return r
+
+    def test_avg_skips_warmup(self):
+        r = self._result([10.0, 1.0, 1.0])
+        assert r.avg_epoch_time_s == pytest.approx(1.0)
+
+    def test_avg_single_epoch(self):
+        r = self._result([2.0])
+        assert r.avg_epoch_time_s == 2.0
+
+    def test_avg_between_range(self):
+        r = self._result([5.0, 1.0, 2.0, 3.0])
+        assert r.avg_time_between(1, 3) == pytest.approx(1.5)
+
+    def test_avg_between_empty_falls_back(self):
+        r = self._result([5.0, 1.0])
+        assert r.avg_time_between(10, 20) == r.avg_epoch_time_s
+
+    def test_loss_curve(self):
+        r = self._result([1.0, 1.0])
+        assert r.loss_curve() == [1.0, 0.5]
+
+    def test_empty(self):
+        r = TrainResult()
+        assert r.avg_epoch_time_s == 0.0
+        assert r.loss_curve() == []

@@ -1,0 +1,91 @@
+"""COO -> CSR builders."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builders import (
+    coo_to_csr,
+    dedupe_edges,
+    from_edge_list,
+    remove_self_loops,
+)
+
+
+class TestCooToCsr:
+    def test_row_grouping(self):
+        g = coo_to_csr(np.array([0, 1, 2]), np.array([1, 1, 0]), num_dst=3, num_src=3)
+        assert g.in_degree(1) == 2
+        assert g.in_degree(0) == 1
+        assert g.in_degree(2) == 0
+
+    def test_stable_edge_order_within_row(self):
+        # edges to dst=0 from sources 5, 3, 4 in that input order
+        g = coo_to_csr(
+            np.array([5, 3, 4]), np.array([0, 0, 0]), num_dst=1, num_src=6
+        )
+        assert g.neighbors(0).tolist() == [5, 3, 4]
+        assert g.edge_ids_of(0).tolist() == [0, 1, 2]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            coo_to_csr(np.array([0]), np.array([0, 1]))
+
+    def test_out_of_range_dst(self):
+        with pytest.raises(ValueError, match="out of range"):
+            coo_to_csr(np.array([0]), np.array([5]), num_dst=2, num_src=2)
+
+    def test_out_of_range_src(self):
+        with pytest.raises(ValueError, match="out of range"):
+            coo_to_csr(np.array([5]), np.array([0]), num_dst=2, num_src=2)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            coo_to_csr(np.array([-1]), np.array([0]), num_dst=2, num_src=2)
+
+    def test_custom_edge_ids_carried(self):
+        g = coo_to_csr(
+            np.array([1, 0]),
+            np.array([0, 0]),
+            num_dst=1,
+            num_src=2,
+            edge_ids=np.array([42, 7]),
+        )
+        assert sorted(g.edge_ids.tolist()) == [7, 42]
+
+    def test_rectangular(self):
+        g = coo_to_csr(np.array([9]), np.array([0]), num_dst=2, num_src=10)
+        assert g.num_vertices == 2
+        assert g.num_src == 10
+        assert not g.is_square
+
+
+class TestFromEdgeList:
+    def test_empty(self):
+        g = from_edge_list([], num_vertices=3)
+        assert g.num_vertices == 3 and g.num_edges == 0
+
+    def test_infers_num_vertices(self):
+        g = from_edge_list([(0, 4)])
+        assert g.num_vertices == 5
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="pairs"):
+            from_edge_list([(0, 1, 2)])  # type: ignore[list-item]
+
+
+class TestEdgeCleanup:
+    def test_dedupe_preserves_first(self):
+        src = np.array([0, 1, 0, 2])
+        dst = np.array([1, 2, 1, 0])
+        s, d = dedupe_edges(src, dst)
+        assert len(s) == 3
+        assert (0, 1) in set(zip(s.tolist(), d.tolist()))
+
+    def test_dedupe_empty(self):
+        s, d = dedupe_edges(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert s.size == 0
+
+    def test_remove_self_loops(self):
+        s, d = remove_self_loops(np.array([0, 1, 2]), np.array([0, 2, 2]))
+        assert s.tolist() == [1]
+        assert d.tolist() == [2]

@@ -1,0 +1,94 @@
+"""Dataset stand-ins: registry, structural regimes, trainability hooks."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import (
+    DATASET_REGISTRY,
+    PAPER_DATASET_STATS,
+    load_dataset,
+)
+from repro.graph.utils import density
+
+
+ALL_NAMES = sorted(DATASET_REGISTRY)
+
+
+class TestRegistry:
+    def test_five_datasets(self):
+        assert set(ALL_NAMES) == {
+            "am",
+            "reddit",
+            "ogbn-products",
+            "ogbn-papers",
+            "proteins",
+        }
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("citeseer")
+
+    def test_paper_stats_table2(self):
+        assert PAPER_DATASET_STATS["reddit"].num_vertices == 232_965
+        assert PAPER_DATASET_STATS["ogbn-papers"].num_edges == 1_615_685_872
+        assert PAPER_DATASET_STATS["proteins"].num_classes == 256
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEveryDataset:
+    def test_loads_and_is_consistent(self, name):
+        ds = load_dataset(name, scale=0.05, seed=0)
+        n = ds.num_vertices
+        assert ds.features.shape[0] == n
+        assert ds.labels.shape == (n,)
+        assert ds.train_mask.shape == (n,)
+        assert ds.labels.max() < ds.num_classes
+
+    def test_masks_partition_vertices(self, name):
+        ds = load_dataset(name, scale=0.05, seed=0)
+        overlap = (
+            ds.train_mask.astype(int)
+            + ds.val_mask.astype(int)
+            + ds.test_mask.astype(int)
+        )
+        assert np.all(overlap == 1)
+
+    def test_deterministic(self, name):
+        a = load_dataset(name, scale=0.05, seed=3)
+        b = load_dataset(name, scale=0.05, seed=3)
+        assert a.num_edges == b.num_edges
+        assert np.array_equal(a.features, b.features)
+
+    def test_scale_grows_graph(self, name):
+        small = load_dataset(name, scale=0.05, seed=0)
+        large = load_dataset(name, scale=0.12, seed=0)
+        assert large.num_vertices > small.num_vertices
+
+
+class TestStructuralRegimes:
+    def test_reddit_denser_than_products(self):
+        reddit = load_dataset("reddit", scale=0.1, seed=0)
+        products = load_dataset("ogbn-products", scale=0.1, seed=0)
+        assert density(reddit.graph) > 2 * density(products.graph)
+
+    def test_proteins_clustered(self):
+        ds = load_dataset("proteins", scale=0.1, seed=0)
+        src, dst, _ = ds.graph.to_coo()
+        same = ds.labels[src] == ds.labels[dst]
+        assert same.mean() > 0.5
+
+    def test_am_has_relations(self):
+        ds = load_dataset("am", scale=0.1, seed=0)
+        assert len(ds.relations) == 5
+        for g in ds.relations.values():
+            assert g.num_vertices == ds.num_vertices
+
+    def test_am_union_covers_relations(self):
+        ds = load_dataset("am", scale=0.1, seed=0)
+        rel_edges = sum(g.num_edges for g in ds.relations.values())
+        assert ds.num_edges <= rel_edges  # union dedupes overlaps
+
+    def test_summary_string(self):
+        ds = load_dataset("reddit", scale=0.05, seed=0)
+        s = ds.summary()
+        assert "reddit" in s and "|V|=" in s

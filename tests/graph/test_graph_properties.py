@@ -1,0 +1,86 @@
+"""Property-based tests (hypothesis) on graph data structures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builders import coo_to_csr, dedupe_edges
+from repro.graph.utils import to_bidirected
+
+
+@st.composite
+def edge_lists(draw, max_vertices=30, max_edges=80):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1), min_size=m, max_size=m
+        )
+    )
+    dst = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1), min_size=m, max_size=m
+        )
+    )
+    return n, np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_coo_round_trip_preserves_multiset(data):
+    n, src, dst = data
+    g = coo_to_csr(src, dst, num_dst=n, num_src=n)
+    s2, d2, _ = g.to_coo()
+    assert sorted(zip(s2.tolist(), d2.tolist())) == sorted(
+        zip(src.tolist(), dst.tolist())
+    )
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_indptr_invariants(data):
+    n, src, dst = data
+    g = coo_to_csr(src, dst, num_dst=n, num_src=n)
+    assert g.indptr[0] == 0
+    assert g.indptr[-1] == g.num_edges
+    assert np.all(np.diff(g.indptr) >= 0)
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_reverse_is_involution(data):
+    n, src, dst = data
+    g = coo_to_csr(src, dst, num_dst=n, num_src=n)
+    assert np.array_equal(g.reverse().reverse().to_dense(), g.to_dense())
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_dedupe_idempotent(data):
+    _, src, dst = data
+    s1, d1 = dedupe_edges(src, dst)
+    s2, d2 = dedupe_edges(s1, d1)
+    assert np.array_equal(s1, s2) and np.array_equal(d1, d2)
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_bidirected_symmetric(data):
+    n, src, dst = data
+    g = coo_to_csr(src, dst, num_dst=n, num_src=n)
+    bi = to_bidirected(g)
+    dense = bi.to_dense() > 0
+    assert np.array_equal(dense, dense.T)
+
+
+@given(edge_lists(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_source_blocks_partition_edges(data, nb):
+    n, src, dst = data
+    g = coo_to_csr(src, dst, num_dst=n, num_src=n)
+    from repro.kernels.blocked import build_blocks
+
+    blocks = build_blocks(g, nb)
+    assert sum(b.num_edges for b in blocks) == g.num_edges
+    total = sum(b.to_dense() for b in blocks)
+    assert np.array_equal(total, g.to_dense())

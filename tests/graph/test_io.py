@@ -1,0 +1,37 @@
+"""Graph persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.graph.io import load_graph, save_graph
+
+
+def test_round_trip(tmp_path, small_rmat):
+    path = str(tmp_path / "g.npz")
+    save_graph(path, small_rmat)
+    g2, extras = load_graph(path)
+    assert np.array_equal(g2.indptr, small_rmat.indptr)
+    assert np.array_equal(g2.indices, small_rmat.indices)
+    assert np.array_equal(g2.edge_ids, small_rmat.edge_ids)
+    assert g2.num_src == small_rmat.num_src
+    assert extras == {}
+
+
+def test_extras_round_trip(tmp_path, tiny_graph):
+    feats = np.random.default_rng(0).random((5, 3)).astype(np.float32)
+    labels = np.arange(5)
+    path = str(tmp_path / "g")
+    save_graph(path + ".npz", tiny_graph, features=feats, labels=labels)
+    g2, extras = load_graph(path)  # extension optional on load
+    assert np.array_equal(extras["features"], feats)
+    assert np.array_equal(extras["labels"], labels)
+
+
+def test_reserved_name_rejected(tmp_path, tiny_graph):
+    with pytest.raises(ValueError, match="reserved"):
+        save_graph(str(tmp_path / "g.npz"), tiny_graph, indptr=np.zeros(1))
+
+
+def test_missing_file(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_graph(str(tmp_path / "nope.npz"))

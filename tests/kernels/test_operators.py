@@ -1,0 +1,95 @@
+"""Operator algebra of Table 1."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.operators import (
+    BINARY_OPS,
+    REDUCE_OPS,
+    finalize_output,
+    get_binary_op,
+    get_reduce_op,
+    init_output,
+)
+
+
+class TestBinaryOps:
+    def test_table1_complete(self):
+        assert set(BINARY_OPS) == {"add", "sub", "mul", "div", "copylhs", "copyrhs"}
+
+    @pytest.mark.parametrize("name", ["add", "sub", "mul", "div"])
+    def test_binary_matches_numpy(self, name):
+        op = get_binary_op(name)
+        a = np.array([4.0, 6.0])
+        b = np.array([2.0, 3.0])
+        expected = {"add": a + b, "sub": a - b, "mul": a * b, "div": a / b}[name]
+        assert np.allclose(op(a, b), expected)
+
+    def test_copylhs(self):
+        op = get_binary_op("copylhs")
+        a = np.array([1.0, 2.0])
+        assert np.array_equal(op(a, None), a)
+        assert op.uses_lhs and not op.uses_rhs
+
+    def test_copyrhs(self):
+        op = get_binary_op("copyrhs")
+        b = np.array([3.0])
+        assert np.array_equal(op(None, b), b)
+        assert op.uses_rhs and not op.uses_lhs
+
+    def test_binary_needs_both(self):
+        with pytest.raises(ValueError, match="both"):
+            get_binary_op("add")(np.zeros(2), None)
+
+    def test_copy_needs_its_side(self):
+        with pytest.raises(ValueError):
+            get_binary_op("copylhs")(None, np.zeros(2))
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown"):
+            get_binary_op("pow")
+
+    def test_passthrough(self):
+        op = get_binary_op("add")
+        assert get_binary_op(op) is op
+
+
+class TestReduceOps:
+    def test_table1_complete(self):
+        assert set(REDUCE_OPS) == {"sum", "max", "min"}
+
+    @pytest.mark.parametrize(
+        "name,identity", [("sum", 0.0), ("max", -np.inf), ("min", np.inf)]
+    )
+    def test_identities(self, name, identity):
+        assert get_reduce_op(name).identity == identity
+
+    def test_combine(self):
+        rop = get_reduce_op("max")
+        assert np.array_equal(
+            rop.combine(np.array([1.0, 5.0]), np.array([3.0, 2.0])),
+            np.array([3.0, 5.0]),
+        )
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_reduce_op("prod")
+
+
+class TestOutputHelpers:
+    def test_init_output_identity_fill(self):
+        out = init_output(3, 2, get_reduce_op("max"), np.float32)
+        assert np.all(np.isneginf(out))
+
+    def test_finalize_clears_inf(self):
+        rop = get_reduce_op("min")
+        out = init_output(2, 2, rop, np.float64)
+        out[0] = [1.0, 2.0]
+        finalize_output(out, rop)
+        assert np.array_equal(out[1], [0.0, 0.0])
+
+    def test_finalize_noop_for_sum(self):
+        rop = get_reduce_op("sum")
+        out = init_output(2, 2, rop, np.float64)
+        finalize_output(out, rop)
+        assert np.all(out == 0.0)

@@ -1,0 +1,69 @@
+"""Segment reduction, including the empty-segment fix."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.operators import get_reduce_op, init_output
+from repro.kernels.segment import segment_reduce
+
+
+def _run(values, indptr, op="sum"):
+    rop = get_reduce_op(op)
+    out = init_output(len(indptr) - 1, values.shape[1], rop, values.dtype)
+    segment_reduce(values, np.asarray(indptr), rop, out)
+    return out
+
+
+def test_simple_sum():
+    vals = np.array([[1.0], [2.0], [3.0]])
+    out = _run(vals, [0, 2, 3])
+    assert out.ravel().tolist() == [3.0, 3.0]
+
+
+def test_empty_segment_between():
+    vals = np.array([[1.0], [2.0], [4.0]])
+    out = _run(vals, [0, 2, 2, 3])  # middle segment empty
+    assert out.ravel().tolist() == [3.0, 0.0, 4.0]
+
+
+def test_leading_and_trailing_empty():
+    vals = np.array([[5.0]])
+    out = _run(vals, [0, 0, 1, 1])
+    assert out.ravel().tolist() == [0.0, 5.0, 0.0]
+
+
+def test_all_empty():
+    vals = np.zeros((0, 2))
+    out = _run(vals, [0, 0, 0])
+    assert np.all(out == 0)
+
+
+def test_max_with_empties():
+    vals = np.array([[1.0], [9.0], [2.0]])
+    rop = get_reduce_op("max")
+    out = init_output(3, 1, rop, np.float64)
+    segment_reduce(vals, np.array([0, 2, 2, 3]), rop, out)
+    assert out[0, 0] == 9.0
+    assert np.isneginf(out[1, 0])  # untouched identity (finalize clears later)
+    assert out[2, 0] == 2.0
+
+
+def test_accumulates_into_out():
+    vals = np.array([[1.0], [1.0]])
+    rop = get_reduce_op("sum")
+    out = np.array([[10.0]])
+    segment_reduce(vals, np.array([0, 2]), rop, out)
+    assert out[0, 0] == 12.0
+
+
+def test_matches_loop_reference():
+    rng = np.random.default_rng(0)
+    vals = rng.standard_normal((50, 4))
+    cuts = np.sort(rng.integers(0, 50, size=9))
+    indptr = np.concatenate([[0], cuts, [50]])
+    rop = get_reduce_op("sum")
+    out = init_output(len(indptr) - 1, 4, rop, np.float64)
+    segment_reduce(vals, indptr, rop, out)
+    for i in range(len(indptr) - 1):
+        expected = vals[indptr[i] : indptr[i + 1]].sum(axis=0)
+        np.testing.assert_allclose(out[i], expected, atol=1e-12)

@@ -1,0 +1,67 @@
+"""Public aggregate() dispatch and instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import aggregate
+from repro.kernels.blocked import BlockedGraph
+from repro.kernels.instrumentation import AP_TIMER
+from repro.kernels.spmm import AggregationSpec, KERNELS
+
+
+class TestDispatch:
+    def test_all_kernels_registered(self):
+        assert set(KERNELS) == {"baseline", "reordered", "blocked", "reference"}
+
+    @pytest.mark.parametrize("kernel", ["baseline", "reordered", "blocked"])
+    def test_kernels_agree(self, small_rmat, small_features, kernel):
+        out = aggregate(small_rmat, small_features, kernel=kernel, num_blocks=2)
+        ref = aggregate(small_rmat, small_features, kernel="reference")
+        np.testing.assert_allclose(out, ref, rtol=1e-4)
+
+    def test_auto_small_graph_uses_reordered(self, small_rmat, small_features):
+        out = aggregate(small_rmat, small_features, kernel="auto")
+        ref = aggregate(small_rmat, small_features, kernel="reordered")
+        np.testing.assert_allclose(out, ref, rtol=1e-6)
+
+    def test_unknown_kernel(self, small_rmat, small_features):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            aggregate(small_rmat, small_features, kernel="cuda")
+
+    def test_blockedgraph_input(self, small_rmat, small_features):
+        bg = BlockedGraph.build(small_rmat, 4)
+        out = aggregate(bg, small_features)
+        ref = aggregate(small_rmat, small_features, kernel="reordered")
+        np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-5)
+
+    def test_explicit_num_blocks_forces_blocked(self, small_rmat, small_features):
+        out = aggregate(small_rmat, small_features, num_blocks=8)
+        ref = aggregate(small_rmat, small_features, kernel="reference")
+        np.testing.assert_allclose(out, ref, rtol=1e-4)
+
+    def test_requires_some_features(self, small_rmat):
+        with pytest.raises(ValueError):
+            aggregate(small_rmat, None, None)
+
+
+class TestInstrumentation:
+    def test_timer_accumulates(self, small_rmat, small_features):
+        AP_TIMER.reset()
+        aggregate(small_rmat, small_features, kernel="reordered")
+        assert AP_TIMER.calls == 1
+        assert AP_TIMER.elapsed_s > 0
+        aggregate(small_rmat, small_features, kernel="reordered")
+        assert AP_TIMER.calls == 2
+
+    def test_reset(self, small_rmat, small_features):
+        aggregate(small_rmat, small_features, kernel="reordered")
+        AP_TIMER.reset()
+        assert AP_TIMER.calls == 0
+        assert AP_TIMER.elapsed_s == 0.0
+
+
+def test_aggregation_spec_defaults():
+    spec = AggregationSpec()
+    assert spec.binary_op == "copylhs"
+    assert spec.reduce_op == "sum"
+    assert spec.kernel == "auto"

@@ -1,0 +1,96 @@
+"""GCN and GIN models on the shared aggregation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, masked_cross_entropy, Adam, accuracy
+from repro.nn.gcn import GCN, GCNConv, symmetric_norm
+from repro.nn.gin import GIN, GINConv
+
+
+class TestGCN:
+    def test_forward_shape(self, small_rmat, small_features):
+        model = GCN(8, 16, 5, num_layers=2)
+        out = model(small_rmat, Tensor(small_features), symmetric_norm(small_rmat))
+        assert out.shape == (small_rmat.num_vertices, 5)
+
+    def test_symmetric_norm_values(self, line_graph):
+        norm = symmetric_norm(line_graph)
+        # in-degrees [0,1,1,1] -> 1/sqrt(d+1)
+        np.testing.assert_allclose(
+            norm.data.ravel(), [1.0, 2**-0.5, 2**-0.5, 2**-0.5], rtol=1e-6
+        )
+
+    def test_gradients_flow(self, small_rmat, small_features):
+        model = GCN(8, 8, 3, num_layers=2)
+        out = model(small_rmat, Tensor(small_features), symmetric_norm(small_rmat))
+        labels = np.zeros(small_rmat.num_vertices, dtype=np.int64)
+        masked_cross_entropy(out, labels).backward()
+        for name, p in model.named_parameters():
+            assert p.grad is not None, name
+
+    def test_learns(self, reddit_mini):
+        model = GCN(reddit_mini.feature_dim, 16, reddit_mini.num_classes, seed=0)
+        norm = symmetric_norm(reddit_mini.graph)
+        x = Tensor(reddit_mini.features)
+        opt = Adam(model.parameters(), lr=0.01)
+        first = None
+        for _ in range(25):
+            model.zero_grad()
+            logits = model(reddit_mini.graph, x, norm)
+            loss = masked_cross_entropy(
+                logits, reddit_mini.labels, reddit_mini.train_mask
+            )
+            if first is None:
+                first = float(loss.data)
+            loss.backward()
+            opt.step()
+        assert float(loss.data) < 0.7 * first
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            GCN(4, 8, 2, num_layers=0)
+
+
+class TestGIN:
+    def test_forward_shape(self, small_rmat, small_features):
+        model = GIN(8, 16, 5, num_layers=2)
+        out = model(small_rmat, Tensor(small_features))
+        assert out.shape == (small_rmat.num_vertices, 5)
+
+    def test_eps_is_learnable(self, small_rmat, small_features):
+        layer = GINConv(8, 8)
+        out = layer(small_rmat, Tensor(small_features))
+        out.sum().backward()
+        assert layer.eps.grad is not None
+        assert layer.eps.grad.shape == (1,)
+
+    def test_eps_changes_output(self, small_rmat, small_features):
+        layer = GINConv(8, 8, activation=False)
+        out1 = layer(small_rmat, Tensor(small_features)).data.copy()
+        layer.eps.data = np.array([5.0], dtype=np.float32)
+        out2 = layer(small_rmat, Tensor(small_features)).data
+        assert not np.allclose(out1, out2)
+
+    def test_learns(self, reddit_mini):
+        model = GIN(reddit_mini.feature_dim, 16, reddit_mini.num_classes, seed=0)
+        x = Tensor(reddit_mini.features)
+        opt = Adam(model.parameters(), lr=0.005)
+        first = None
+        for _ in range(25):
+            model.zero_grad()
+            loss = masked_cross_entropy(
+                model(reddit_mini.graph, x),
+                reddit_mini.labels,
+                reddit_mini.train_mask,
+            )
+            if first is None:
+                first = float(loss.data)
+            loss.backward()
+            opt.step()
+        assert float(loss.data) < first
+
+    def test_parameter_count_includes_eps(self):
+        model = GIN(4, 8, 2, num_layers=2)
+        names = [n for n, _ in model.named_parameters()]
+        assert sum("eps" in n for n in names) == 2

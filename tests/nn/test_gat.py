@@ -1,0 +1,131 @@
+"""GAT model and its differentiable attention ops."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builders import from_edge_list
+from repro.nn import Adam, Tensor, masked_cross_entropy
+from repro.nn import functional as F
+from repro.nn.gat import GAT, GATConv
+
+from tests.nn.test_gradcheck import numeric_grad
+
+
+@pytest.fixture
+def tiny():
+    return from_edge_list(
+        [(0, 1), (1, 2), (2, 0), (0, 2), (1, 0), (2, 1)], num_vertices=3
+    )
+
+
+class TestAttentionOps:
+    def test_edge_scores_gradcheck(self, tiny):
+        rng = np.random.default_rng(0)
+        su = rng.standard_normal((3, 1))
+        sv = rng.standard_normal((3, 1))
+
+        def f_su(arr):
+            return float(
+                F.edge_scores(tiny, Tensor(arr), Tensor(sv)).sum().data
+            )
+
+        t = Tensor(su.copy(), requires_grad=True)
+        F.edge_scores(tiny, t, Tensor(sv)).sum().backward()
+        np.testing.assert_allclose(t.grad, numeric_grad(f_su, su), atol=1e-6)
+
+    def test_edge_softmax_gradcheck(self, tiny):
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((tiny.num_edges, 1))
+        w = rng.standard_normal((tiny.num_edges, 1))  # fixed downstream mix
+
+        def f(arr):
+            s = F.edge_softmax(tiny, Tensor(arr))
+            return float(F.mul(s, Tensor(w)).sum().data)
+
+        t = Tensor(logits.copy(), requires_grad=True)
+        F.mul(F.edge_softmax(tiny, t), Tensor(w)).sum().backward()
+        np.testing.assert_allclose(t.grad, numeric_grad(f, logits), atol=1e-5)
+
+    def test_weighted_spmm_feature_gradcheck(self, tiny):
+        rng = np.random.default_rng(2)
+        h = rng.standard_normal((3, 4))
+        w = rng.standard_normal((tiny.num_edges, 1))
+
+        def f(arr):
+            return float(
+                F.weighted_spmm(tiny, Tensor(arr), Tensor(w)).sum().data
+            )
+
+        t = Tensor(h.copy(), requires_grad=True)
+        F.weighted_spmm(tiny, t, Tensor(w)).sum().backward()
+        np.testing.assert_allclose(t.grad, numeric_grad(f, h), atol=1e-5)
+
+    def test_weighted_spmm_weight_gradcheck(self, tiny):
+        rng = np.random.default_rng(3)
+        h = rng.standard_normal((3, 4))
+        w = rng.standard_normal((tiny.num_edges, 1))
+
+        def f(arr):
+            return float(
+                F.weighted_spmm(tiny, Tensor(h), Tensor(arr)).sum().data
+            )
+
+        t = Tensor(w.copy(), requires_grad=True)
+        F.weighted_spmm(tiny, Tensor(h), t).sum().backward()
+        np.testing.assert_allclose(t.grad, numeric_grad(f, w), atol=1e-5)
+
+    def test_leaky_relu_gradcheck(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((5, 3))
+        x[np.abs(x) < 0.1] += 0.3
+
+        def f(arr):
+            return float(F.leaky_relu(Tensor(arr), 0.2).sum().data)
+
+        t = Tensor(x.copy(), requires_grad=True)
+        F.leaky_relu(t, 0.2).sum().backward()
+        np.testing.assert_allclose(t.grad, numeric_grad(f, x), atol=1e-6)
+
+    def test_uniform_logits_give_mean_aggregation(self, tiny):
+        """With equal attention, GAT aggregation = degree-normalized sum."""
+        soft = F.edge_softmax(tiny, Tensor(np.zeros((tiny.num_edges, 1))))
+        h = Tensor(np.eye(3))
+        out = F.weighted_spmm(tiny, h, soft)
+        deg = tiny.in_degrees()
+        from repro.kernels import aggregate
+
+        plain = aggregate(tiny, np.eye(3)) / deg.reshape(-1, 1)
+        np.testing.assert_allclose(out.data, plain, rtol=1e-6)
+
+
+class TestGATModel:
+    def test_forward_shape(self, small_rmat, small_features):
+        model = GAT(8, 16, 5, num_layers=2)
+        out = model(small_rmat, Tensor(small_features))
+        assert out.shape == (small_rmat.num_vertices, 5)
+
+    def test_all_parameters_get_grads(self, small_rmat, small_features):
+        model = GAT(8, 8, 3, num_layers=2)
+        out = model(small_rmat, Tensor(small_features))
+        labels = np.zeros(small_rmat.num_vertices, dtype=np.int64)
+        masked_cross_entropy(out, labels).backward()
+        for name, p in model.named_parameters():
+            assert p.grad is not None, name
+
+    def test_learns(self, reddit_mini):
+        model = GAT(reddit_mini.feature_dim, 8, reddit_mini.num_classes, seed=0)
+        x = Tensor(reddit_mini.features)
+        opt = Adam(model.parameters(), lr=0.02)
+        first = None
+        for _ in range(35):
+            model.zero_grad()
+            loss = masked_cross_entropy(
+                model(reddit_mini.graph, x),
+                reddit_mini.labels,
+                reddit_mini.train_mask,
+            )
+            if first is None:
+                first = float(loss.data)
+            loss.backward()
+            opt.step()
+        assert float(loss.data) < 0.8 * first

@@ -1,0 +1,52 @@
+"""Baseline partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.partition.baselines import hash_edge_partition, random_edge_partition
+
+
+def test_random_complete(small_rmat):
+    asn = random_edge_partition(small_rmat, 4, seed=0)
+    assert asn.shape == (small_rmat.num_edges,)
+    assert set(np.unique(asn)) <= {0, 1, 2, 3}
+
+
+def test_random_balanced(small_rmat):
+    asn = random_edge_partition(small_rmat, 4, seed=0)
+    counts = np.bincount(asn, minlength=4)
+    assert counts.max() < 1.5 * counts.mean()
+
+
+def test_random_deterministic(small_rmat):
+    a = random_edge_partition(small_rmat, 4, seed=3)
+    b = random_edge_partition(small_rmat, 4, seed=3)
+    assert np.array_equal(a, b)
+
+
+def test_hash_src_groups_out_edges(small_rmat):
+    asn = hash_edge_partition(small_rmat, 4, by="src")
+    src, dst, eid = small_rmat.to_coo()
+    # all edges with the same source land in the same partition
+    for s in np.unique(src)[:20]:
+        parts = np.unique(asn[eid[src == s]])
+        assert parts.size == 1
+
+
+def test_hash_dst_groups_in_edges(small_rmat):
+    asn = hash_edge_partition(small_rmat, 4, by="dst")
+    src, dst, eid = small_rmat.to_coo()
+    for d in np.unique(dst)[:20]:
+        assert np.unique(asn[eid[dst == d]]).size == 1
+
+
+def test_hash_invalid_by(small_rmat):
+    with pytest.raises(ValueError):
+        hash_edge_partition(small_rmat, 4, by="edge")
+
+
+def test_invalid_partition_count(small_rmat):
+    with pytest.raises(ValueError):
+        random_edge_partition(small_rmat, 0)
+    with pytest.raises(ValueError):
+        hash_edge_partition(small_rmat, 0)

@@ -1,0 +1,81 @@
+"""Libra vertex-cut partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.partition.libra import libra_partition, replication_factor_of_assignment
+from repro.partition.baselines import random_edge_partition
+from repro.graph.generators import rmat_graph, sbm_graph
+
+
+class TestBasicContract:
+    def test_every_edge_assigned_once(self, small_rmat):
+        asn = libra_partition(small_rmat, 4)
+        assert asn.shape == (small_rmat.num_edges,)
+        assert asn.min() >= 0 and asn.max() < 4
+
+    def test_single_partition(self, small_rmat):
+        asn = libra_partition(small_rmat, 1)
+        assert np.all(asn == 0)
+
+    def test_deterministic(self, small_rmat):
+        a = libra_partition(small_rmat, 4, seed=2)
+        b = libra_partition(small_rmat, 4, seed=2)
+        assert np.array_equal(a, b)
+
+    def test_invalid_partitions(self, small_rmat):
+        with pytest.raises(ValueError):
+            libra_partition(small_rmat, 0)
+
+    def test_empty_graph(self):
+        from repro.graph.builders import from_edge_list
+
+        g = from_edge_list([], num_vertices=4)
+        assert libra_partition(g, 3).size == 0
+
+
+class TestQuality:
+    def test_edge_balance(self, small_rmat):
+        """Libra keeps edge counts near-equal (paper Section 6.3)."""
+        asn = libra_partition(small_rmat, 4)
+        counts = np.bincount(asn, minlength=4)
+        assert counts.max() <= 1.2 * counts.mean()
+
+    def test_beats_random_on_replication(self):
+        g = rmat_graph(scale=10, edge_factor=16.0, seed=0)
+        for p in (4, 8):
+            libra_rf = replication_factor_of_assignment(
+                g, libra_partition(g, p), p
+            )
+            rand_rf = replication_factor_of_assignment(
+                g, random_edge_partition(g, p), p
+            )
+            assert libra_rf < rand_rf
+
+    def test_replication_grows_with_partitions(self):
+        g = rmat_graph(scale=9, edge_factor=12.0, seed=1)
+        rfs = [
+            replication_factor_of_assignment(g, libra_partition(g, p), p)
+            for p in (2, 4, 8)
+        ]
+        assert rfs[0] < rfs[1] < rfs[2]
+
+    def test_clustered_graph_low_replication(self):
+        """Proteins-like community structure -> near-clean cuts (Table 4)."""
+        clustered = sbm_graph([128] * 8, p_in=0.15, p_out=0.0005, seed=0)
+        dense = sbm_graph([1024], p_in=0.02, p_out=0.0, seed=0)
+        p = 8
+        rf_clustered = replication_factor_of_assignment(
+            clustered, libra_partition(clustered, p), p
+        )
+        rf_dense = replication_factor_of_assignment(
+            dense, libra_partition(dense, p), p
+        )
+        assert rf_clustered < rf_dense
+
+    def test_replication_bounded_by_partitions(self, small_rmat):
+        p = 4
+        rf = replication_factor_of_assignment(
+            small_rmat, libra_partition(small_rmat, p), p
+        )
+        assert 1.0 <= rf <= p

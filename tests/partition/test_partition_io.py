@@ -1,0 +1,61 @@
+"""Partitioning persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.graph.io import save_graph
+from repro.partition import build_partitions, libra_partition
+from repro.partition.io import load_partitioning, save_partitioning
+
+
+@pytest.fixture
+def parted(small_rmat):
+    return build_partitions(small_rmat, libra_partition(small_rmat, 3, seed=0), 3)
+
+
+def test_round_trip_structure(tmp_path, parted):
+    path = str(tmp_path / "p.npz")
+    save_partitioning(path, parted)
+    loaded = load_partitioning(path)
+    assert loaded.num_partitions == parted.num_partitions
+    assert np.array_equal(loaded.assignment, parted.assignment)
+    assert np.array_equal(loaded.membership, parted.membership)
+    for a, b in zip(loaded.parts, parted.parts):
+        assert np.array_equal(a.global_ids, b.global_ids)
+        assert np.array_equal(a.graph.indices, b.graph.indices)
+
+
+def test_round_trip_preserves_replication(tmp_path, parted):
+    path = str(tmp_path / "p.npz")
+    save_partitioning(path, parted)
+    assert load_partitioning(path).replication_factor == pytest.approx(
+        parted.replication_factor
+    )
+
+
+def test_trainer_runs_from_loaded_partitioning(tmp_path, reddit_mini):
+    from repro.core import DistributedTrainer, TrainConfig
+
+    cfg = TrainConfig(
+        num_layers=2, hidden_features=8, learning_rate=0.01, eval_every=0, seed=0
+    )
+    parted = build_partitions(
+        reddit_mini.graph, libra_partition(reddit_mini.graph, 3, seed=0), 3
+    )
+    path = str(tmp_path / "r.npz")
+    save_partitioning(path, parted)
+    loaded = load_partitioning(path)
+    fresh = DistributedTrainer(
+        reddit_mini, 3, algorithm="cd-0", config=cfg, parted=parted
+    ).fit(num_epochs=4)
+    reloaded = DistributedTrainer(
+        reddit_mini, 3, algorithm="cd-0", config=cfg, parted=loaded
+    ).fit(num_epochs=4)
+    assert fresh.loss_curve() == reloaded.loss_curve()
+
+
+def test_plain_graph_rejected(tmp_path, small_rmat):
+    path = str(tmp_path / "g.npz")
+    save_graph(path, small_rmat)
+    with pytest.raises(ValueError, match="partitioning"):
+        load_partitioning(path)

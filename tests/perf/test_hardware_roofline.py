@@ -1,0 +1,66 @@
+"""Hardware presets and the roofline."""
+
+import pytest
+
+from repro.perf.hardware import SocketSpec, XEON_8280, XEON_9242
+from repro.perf.roofline import (
+    KernelCost,
+    ap_kernel_time,
+    dense_layer_time,
+    roofline_time,
+)
+
+
+class TestSockets:
+    def test_8280_parameters(self):
+        assert XEON_8280.cores == 28
+        assert XEON_8280.mem_bw_Bps == 128e9
+
+    def test_9242_reserves_oneccl_cores(self):
+        assert XEON_9242.reserved_cores == 2
+        assert XEON_9242.usable_cores == 46
+
+    def test_peak_flops_positive(self):
+        assert XEON_8280.peak_flops > 1e12  # multi-Tflop fp32
+
+    def test_effective_below_peak(self):
+        assert XEON_8280.effective_flops < XEON_8280.peak_flops
+        assert XEON_8280.effective_bw < XEON_8280.mem_bw_Bps
+
+
+class TestRoofline:
+    def test_bandwidth_bound_regime(self):
+        # huge bytes, negligible flops -> memory time dominates
+        cost = KernelCost(bytes_moved=1e9, flops=1.0)
+        t = roofline_time(cost, XEON_8280)
+        assert t == pytest.approx(1e9 / XEON_8280.effective_bw)
+
+    def test_compute_bound_regime(self):
+        cost = KernelCost(bytes_moved=1.0, flops=1e12)
+        t = roofline_time(cost, XEON_8280)
+        assert t == pytest.approx(1e12 / XEON_8280.effective_flops)
+
+    def test_imbalance_scales_time(self):
+        cost_bal = KernelCost(1e9, 1.0, imbalance=1.0)
+        cost_imb = KernelCost(1e9, 1.0, imbalance=2.0)
+        assert roofline_time(cost_imb, XEON_8280) == pytest.approx(
+            2 * roofline_time(cost_bal, XEON_8280)
+        )
+
+    def test_instruction_factor_only_on_compute(self):
+        mem_bound = KernelCost(1e9, 1.0, instruction_factor=3.0)
+        assert roofline_time(mem_bound, XEON_8280) == pytest.approx(
+            1e9 / XEON_8280.effective_bw
+        )
+
+    def test_scalar_kernel_slower_when_compute_bound(self):
+        fast = ap_kernel_time(1e9, 256, bytes_moved=1.0, socket=XEON_8280)
+        slow = ap_kernel_time(
+            1e9, 256, bytes_moved=1.0, socket=XEON_8280, reordered=False
+        )
+        assert slow > fast
+
+    def test_dense_layer_time_scales(self):
+        t1 = dense_layer_time(1e6, 128, 128, XEON_8280)
+        t2 = dense_layer_time(2e6, 128, 128, XEON_8280)
+        assert t2 == pytest.approx(2 * t1, rel=0.01)

@@ -1,0 +1,124 @@
+"""Work counting: Tables 7 and 8 reproduction contracts."""
+
+import numpy as np
+import pytest
+
+from repro.perf.minibatch import (
+    PRODUCTS_BATCH_SIZE,
+    PRODUCTS_FANOUTS,
+    PRODUCTS_MB_FEATURE_DIMS,
+    expected_unique,
+    minibatch_epoch_work,
+    minibatch_hops,
+    sampled_frontier_sizes,
+)
+from repro.perf.workmodel import (
+    PRODUCTS_AVG_DEGREE,
+    PRODUCTS_FEATURE_DIMS,
+    PRODUCTS_NUM_VERTICES,
+    full_batch_work,
+    products_full_batch_bops,
+    total_work_bops,
+)
+
+
+class TestFullBatchWork:
+    def test_table8_one_socket(self):
+        """Paper: 77.19 B ops at 1 socket."""
+        assert products_full_batch_bops(1) == pytest.approx(77.19, rel=0.01)
+
+    def test_table8_sixteen_sockets(self):
+        """Paper: 18.80 B ops per socket at 16 (clones included)."""
+        assert products_full_batch_bops(16) == pytest.approx(18.80, rel=0.02)
+
+    def test_per_hop_values(self):
+        layers = full_batch_work(
+            PRODUCTS_NUM_VERTICES, PRODUCTS_AVG_DEGREE, PRODUCTS_FEATURE_DIMS
+        )
+        bops = [l.b_ops for l in layers]
+        # paper Table 8: 12.61, 32.29, 32.29
+        assert bops[0] == pytest.approx(12.61, rel=0.01)
+        assert bops[1] == pytest.approx(32.29, rel=0.01)
+
+    def test_hop_ordering(self):
+        layers = full_batch_work(100, 5, (8, 16))
+        assert [l.hop for l in layers] == [1, 0]
+
+    def test_total(self):
+        layers = full_batch_work(10, 2, (4, 4))
+        assert total_work_bops(layers) == pytest.approx(2 * 10 * 2 * 4 / 1e9)
+
+
+class TestMinibatchWork:
+    def test_dedup_model_bounds(self):
+        assert expected_unique(1000, 100) <= 100
+        assert expected_unique(10, 1e9) == pytest.approx(10, rel=0.01)
+        assert expected_unique(0, 100) == 0.0
+        assert expected_unique(5, 0) == 0.0
+
+    def test_table7_shape(self):
+        hops = minibatch_hops(
+            PRODUCTS_BATCH_SIZE,
+            PRODUCTS_FANOUTS,
+            PRODUCTS_MB_FEATURE_DIMS,
+            population=PRODUCTS_NUM_VERTICES,
+        )
+        assert hops[0].num_vertices == 2000
+        # paper hop-1: 30,214 vertices; our dedup model ~30,000
+        assert hops[1].num_vertices == pytest.approx(30_214, rel=0.05)
+        # paper hop-2: 233,692; birthday model within 25%
+        assert hops[2].num_vertices == pytest.approx(233_692, rel=0.25)
+
+    def test_table7_epoch_totals(self):
+        _, bops1, batches1 = minibatch_epoch_work(
+            PRODUCTS_BATCH_SIZE,
+            PRODUCTS_FANOUTS,
+            PRODUCTS_MB_FEATURE_DIMS,
+            population=PRODUCTS_NUM_VERTICES,
+            num_sockets=1,
+        )
+        assert batches1 == 99  # paper: 99 mini-batches per socket
+        assert bops1 == pytest.approx(19.98, rel=0.2)
+        _, bops16, batches16 = minibatch_epoch_work(
+            PRODUCTS_BATCH_SIZE,
+            PRODUCTS_FANOUTS,
+            PRODUCTS_MB_FEATURE_DIMS,
+            population=PRODUCTS_NUM_VERTICES,
+            num_sockets=16,
+        )
+        assert batches16 == 7
+        assert bops16 < bops1 / 10
+
+    def test_fullbatch_does_more_work(self):
+        """The paper's headline: DistGNN does ~4x more work at 1 socket."""
+        _, mb, _ = minibatch_epoch_work(
+            PRODUCTS_BATCH_SIZE,
+            PRODUCTS_FANOUTS,
+            PRODUCTS_MB_FEATURE_DIMS,
+            population=PRODUCTS_NUM_VERTICES,
+        )
+        fb = products_full_batch_bops(1)
+        assert 2.0 < fb / mb < 8.0
+
+    def test_mismatched_args(self):
+        with pytest.raises(ValueError):
+            minibatch_hops(10, (5, 5), (8,), population=100)
+
+
+class TestEmpiricalSampler:
+    def test_frontier_growth_and_dedup(self, small_rmat):
+        seeds = np.arange(10)
+        sizes = sampled_frontier_sizes(small_rmat, seeds, fanouts=(5, 5), seed=0)
+        assert sizes[0] == 10
+        assert len(sizes) == 3
+        assert sizes[1] <= 10 * 5  # fanout bound
+        assert sizes[2] <= small_rmat.num_vertices  # dedup bound
+
+    def test_deterministic(self, small_rmat):
+        a = sampled_frontier_sizes(small_rmat, np.arange(5), (4, 4), seed=1)
+        b = sampled_frontier_sizes(small_rmat, np.arange(5), (4, 4), seed=1)
+        assert a == b
+
+    def test_isolated_seed(self, line_graph):
+        sizes = sampled_frontier_sizes(line_graph, np.array([0]), (3,), seed=0)
+        assert sizes == [1, 0]  # vertex 0 has no in-neighbours

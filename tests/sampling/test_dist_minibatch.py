@@ -1,0 +1,61 @@
+"""Distributed mini-batch (Dist-DGL stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TrainConfig
+from repro.core.sync import assert_replicas_in_sync
+from repro.sampling.dist_minibatch import DistMiniBatchTrainer
+
+CFG = TrainConfig(
+    num_layers=2, hidden_features=16, learning_rate=0.01, eval_every=0, seed=0
+)
+
+
+@pytest.fixture
+def trainer(reddit_mini):
+    return DistMiniBatchTrainer(
+        reddit_mini, num_ranks=3, fanouts=(5, 5), batch_size=48, config=CFG
+    )
+
+
+def test_shards_cover_train_set(reddit_mini, trainer):
+    total = sum(s.size for s in trainer.shards)
+    assert total == int(reddit_mini.train_mask.sum())
+    combined = np.sort(np.concatenate(trainer.shards))
+    assert np.array_equal(combined, np.flatnonzero(reddit_mini.train_mask))
+
+
+def test_loss_decreases(trainer):
+    res = trainer.fit(num_epochs=4)
+    assert res.epochs[-1].loss < res.epochs[0].loss
+
+
+def test_replicas_stay_synced(trainer):
+    trainer.fit(num_epochs=2)
+    assert_replicas_in_sync(trainer.models)
+
+
+def test_remote_feature_fetches_counted(trainer):
+    stats = trainer.train_epoch(0)
+    # hash ownership means ~2/3 of frontier features are remote at 3 ranks
+    assert stats.comm_bytes > 0
+
+
+def test_feature_fetch_owner_accounting(reddit_mini, trainer):
+    before = trainer.world.counters.snapshot()
+    verts = np.arange(30)
+    trainer._fetch_features(0, verts)
+    delta = trainer.world.counters.delta_since(before)
+    remote = int((trainer.owner[verts] != 0).sum())
+    assert sum(delta.bytes_received) == remote * reddit_mini.feature_dim * 4
+
+
+def test_learns(reddit_mini, trainer):
+    res = trainer.fit(num_epochs=8)
+    assert res.final_test_acc > 2.0 / reddit_mini.num_classes
+
+
+def test_fanout_mismatch(reddit_mini):
+    with pytest.raises(ValueError):
+        DistMiniBatchTrainer(reddit_mini, 2, fanouts=(5,), config=CFG)

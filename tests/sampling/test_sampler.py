@@ -1,0 +1,92 @@
+"""Neighbour sampler and message-flow blocks."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import NeighborSampler
+
+
+@pytest.fixture
+def sampler(small_rmat):
+    return NeighborSampler(small_rmat, fanouts=(4, 3), seed=0)
+
+
+class TestSampling:
+    def test_block_count_matches_fanouts(self, sampler):
+        batch = sampler.sample(np.array([0, 1, 2]))
+        assert len(batch.blocks) == 2
+
+    def test_innermost_block_dst_is_seeds(self, sampler):
+        seeds = np.array([5, 1, 9])
+        batch = sampler.sample(seeds)
+        assert np.array_equal(batch.blocks[-1].dst_global, np.unique(seeds))
+
+    def test_frontier_chains(self, sampler):
+        batch = sampler.sample(np.array([0, 1, 2, 3]))
+        inner, outer = batch.blocks[1], batch.blocks[0]
+        assert np.array_equal(outer.dst_global, inner.src_global)
+
+    def test_self_rows_lead_src_frontier(self, sampler):
+        batch = sampler.sample(np.array([0, 1, 2]))
+        for block in batch.blocks:
+            assert np.array_equal(
+                block.src_global[: block.num_dst], block.dst_global
+            )
+
+    def test_fanout_bound(self, small_rmat):
+        s = NeighborSampler(small_rmat, fanouts=(3,), seed=0)
+        batch = s.sample(np.arange(20))
+        assert np.all(batch.blocks[0].graph.in_degrees() <= 3)
+
+    def test_sampled_edges_exist_in_graph(self, sampler, small_rmat):
+        batch = sampler.sample(np.array([0, 1, 2]))
+        dense = small_rmat.to_dense() > 0
+        for block in batch.blocks:
+            lsrc, ldst, _ = block.graph.to_coo()
+            gs = block.src_global[lsrc]
+            gd = block.dst_global[ldst]
+            assert np.all(dense[gd, gs])
+
+    def test_deterministic(self, small_rmat):
+        a = NeighborSampler(small_rmat, (4, 4), seed=3).sample(np.arange(5))
+        b = NeighborSampler(small_rmat, (4, 4), seed=3).sample(np.arange(5))
+        for ba, bb in zip(a.blocks, b.blocks):
+            assert np.array_equal(ba.graph.indices, bb.graph.indices)
+
+    def test_duplicate_seeds_deduped(self, sampler):
+        batch = sampler.sample(np.array([1, 1, 1, 2]))
+        assert batch.seeds.tolist() == [1, 2]
+
+    def test_empty_seeds_rejected(self, sampler):
+        with pytest.raises(ValueError):
+            sampler.sample(np.array([], dtype=np.int64))
+
+    def test_invalid_fanouts(self, small_rmat):
+        with pytest.raises(ValueError):
+            NeighborSampler(small_rmat, fanouts=())
+        with pytest.raises(ValueError):
+            NeighborSampler(small_rmat, fanouts=(0,))
+
+    def test_isolated_seed_yields_empty_rows(self, line_graph):
+        s = NeighborSampler(line_graph, fanouts=(2,), seed=0)
+        batch = s.sample(np.array([0]))  # vertex 0 has no in-edges
+        assert batch.blocks[0].num_sampled_edges == 0
+
+    def test_work_ops_accounting(self, sampler):
+        batch = sampler.sample(np.arange(8))
+        dims = [6, 4]
+        expected = (
+            batch.blocks[0].num_sampled_edges * 6
+            + batch.blocks[1].num_sampled_edges * 4
+        )
+        assert batch.work_ops(dims) == expected
+
+    def test_work_ops_dim_mismatch(self, sampler):
+        batch = sampler.sample(np.arange(4))
+        with pytest.raises(ValueError):
+            batch.work_ops([1])
+
+    def test_norm_shape(self, sampler):
+        batch = sampler.sample(np.arange(4))
+        block = batch.blocks[-1]
+        assert block.norm().shape == (block.num_dst, 1)

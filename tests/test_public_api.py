@@ -1,0 +1,74 @@
+"""Public API stability: the documented entry points import and work."""
+
+import numpy as np
+import pytest
+
+
+def test_top_level_imports():
+    import repro
+
+    assert repro.__version__
+    assert callable(repro.load_dataset)
+    assert callable(repro.aggregate)
+    assert callable(repro.libra_partition)
+
+
+def test_readme_quickstart_flow():
+    """The README's quickstart snippet, verbatim in miniature."""
+    from repro import load_dataset
+    from repro.core import DistributedTrainer, Trainer, TrainConfig
+
+    ds = load_dataset("ogbn-products", scale=0.04)
+    cfg = TrainConfig(learning_rate=0.01, eval_every=0).for_dataset(ds.name)
+    cfg.num_layers, cfg.hidden_features = 2, 8  # CI-sized
+    result = Trainer(ds, cfg).fit(num_epochs=3)
+    assert result.final_test_acc is not None
+
+    dist = DistributedTrainer(ds, 2, algorithm="cd-5", config=cfg).fit(3)
+    assert dist.final_test_acc is not None
+    assert dist.total_comm_bytes >= 0
+
+
+def test_all_subpackages_import():
+    import repro.cachesim
+    import repro.comm
+    import repro.core
+    import repro.graph
+    import repro.kernels
+    import repro.nn
+    import repro.partition
+    import repro.perf
+    import repro.sampling
+
+    for pkg in (
+        repro.graph,
+        repro.kernels,
+        repro.cachesim,
+        repro.partition,
+        repro.comm,
+        repro.nn,
+        repro.core,
+        repro.perf,
+        repro.sampling,
+    ):
+        assert pkg.__doc__, f"{pkg.__name__} missing package docstring"
+        for name in getattr(pkg, "__all__", []):
+            assert hasattr(pkg, name), f"{pkg.__name__}.{name} missing"
+
+
+def test_nn_exports_all_models():
+    from repro import nn
+
+    for model in ("GraphSAGE", "RGCN", "GCN", "GIN", "GAT"):
+        assert hasattr(nn, model)
+
+
+def test_dataclasses_reprs():
+    """Key result objects stringify without error (logging paths)."""
+    from repro import load_dataset
+    from repro.partition import build_partitions, libra_partition, partition_stats
+
+    ds = load_dataset("reddit", scale=0.04)
+    parted = build_partitions(ds.graph, libra_partition(ds.graph, 2), 2)
+    assert "rf=" in partition_stats(parted).row()
+    assert "CSRGraph" in repr(ds.graph)
