@@ -4,7 +4,8 @@ optimized, on the four single-socket workloads.
 The paper reports up to 3.66x total / 4.41x AP speedup from its C++
 optimizations.  Our "baseline DGL" is the Alg.-1 per-destination kernel
 (:mod:`repro.kernels.baseline`); the optimized path is the auto-dispatched
-blocked/reordered kernel.  Baseline total time is reconstructed as
+vectorized segment-reduce engine (bucketed above the cache threshold).
+Baseline total time is reconstructed as
 ``total_opt - AP_opt + AP_baseline`` (the optimizations only touch the AP).
 """
 

@@ -1,0 +1,216 @@
+"""Kernel-engine benchmark — the perf trajectory's first baseline.
+
+Measures per-kernel, per-operator aggregation throughput on the synthetic
+generator graphs (R-MAT power-law, the paper's Graph500-style workload)
+and emits a machine-readable ``BENCH_kernels.json`` at the repo root so
+later PRs have a baseline to improve against.
+
+For every ``(graph, kernel, ⊗, ⊕)`` combination the harness also checks
+the output against ``aggregate_baseline`` (atol 1e-6, float64 features),
+so a kernel can never get faster by getting wrong.
+
+Usage::
+
+    python benchmarks/bench_kernel_engine.py            # full baseline
+    python benchmarks/bench_kernel_engine.py --smoke    # CI schema check
+
+The full run asserts the headline acceptance bar: the vectorized engine
+must beat the Alg.-1 baseline kernel by >= 5x on the largest graph.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - direct invocation without PYTHONPATH
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    )
+
+import numpy as np
+
+from bench_utils import emit, emit_json, table
+from repro.graph.generators import rmat_graph
+from repro.kernels import KERNELS, aggregate
+
+#: Kernels timed per operator combination ("reference" is O(E) Python —
+#: far too slow beyond toy scale and already covered by the test suite).
+BENCH_KERNELS = ("baseline", "vectorized", "reordered", "blocked")
+
+#: Operator table swept per graph: the GNN workhorse, the attention
+#: weighting, edge-only copy, and a non-add reducer.
+OPERATOR_TABLE = (
+    ("copylhs", "sum"),
+    ("copylhs", "mean"),
+    ("copylhs", "max"),
+    ("copyrhs", "sum"),
+    ("add", "sum"),
+    ("mul", "sum"),
+    ("mul", "max"),
+    ("mul", "min"),
+)
+
+SPEEDUP_BAR = 5.0  # acceptance: vectorized >= 5x baseline on largest graph
+
+
+def _graphs(smoke: bool):
+    """(name, CSRGraph) pairs, ordered smallest to largest."""
+    scales = (7,) if smoke else (10, 12, 14)
+    out = []
+    for scale in scales:
+        g = rmat_graph(scale=scale, edge_factor=8.0, seed=3)
+        out.append((f"rmat-s{scale}", g))
+    return out
+
+
+def _time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_graph(name, graph, dim: int, repeats: int, operators) -> list:
+    rng = np.random.default_rng(0)
+    f_v = rng.standard_normal((graph.num_src, dim)) + 2.0
+    f_e = rng.standard_normal((graph.num_edges, dim)) + 2.0
+    rows = []
+    for binary_op, reduce_op in operators:
+        ref = aggregate(graph, f_v, f_e, binary_op, reduce_op, kernel="baseline")
+        base_s = None
+        for kernel in BENCH_KERNELS:
+            out = aggregate(graph, f_v, f_e, binary_op, reduce_op, kernel=kernel)
+            err = float(np.max(np.abs(out - ref))) if out.size else 0.0
+            if err > 1e-6:
+                raise AssertionError(
+                    f"{kernel} diverges from baseline on {name} "
+                    f"{binary_op}/{reduce_op}: max abs err {err:.3e}"
+                )
+            seconds = _time(
+                lambda: aggregate(
+                    graph, f_v, f_e, binary_op, reduce_op, kernel=kernel
+                ),
+                repeats,
+            )
+            if kernel == "baseline":
+                base_s = seconds
+            rows.append(
+                {
+                    "graph": name,
+                    "kernel": kernel,
+                    "binary_op": binary_op,
+                    "reduce_op": reduce_op,
+                    "seconds": seconds,
+                    "edges_per_s": graph.num_edges / seconds if seconds else 0.0,
+                    "speedup_vs_baseline": base_s / seconds if seconds else 0.0,
+                    "max_abs_err_vs_baseline": err,
+                }
+            )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny graph, 1 repeat: schema/plumbing check for CI",
+    )
+    parser.add_argument("--dim", type=int, default=32, help="feature width")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    repeats = 1 if args.smoke else max(1, args.repeats)
+    dim = 8 if args.smoke else args.dim
+    operators = OPERATOR_TABLE[:2] if args.smoke else OPERATOR_TABLE
+
+    graphs = _graphs(args.smoke)
+    results = []
+    for name, graph in graphs:
+        print(f"benchmarking {name}: |V|={graph.num_vertices} |E|={graph.num_edges}")
+        results.extend(bench_graph(name, graph, dim, repeats, operators))
+
+    largest = graphs[-1][0]
+    headline = {
+        r["reduce_op"]: r["speedup_vs_baseline"]
+        for r in results
+        if r["graph"] == largest
+        and r["kernel"] == "vectorized"
+        and r["binary_op"] == "copylhs"
+    }
+    payload = {
+        "schema_version": 1,
+        "benchmark": "kernel_engine",
+        "config": {
+            "dim": dim,
+            "repeats": repeats,
+            "smoke": args.smoke,
+            "operator_table": [list(op) for op in operators],
+            "kernels": list(BENCH_KERNELS),
+        },
+        "graphs": [
+            {
+                "name": name,
+                "generator": "rmat",
+                "num_vertices": g.num_vertices,
+                "num_edges": g.num_edges,
+            }
+            for name, g in graphs
+        ],
+        "results": results,
+        "summary": {
+            "largest_graph": largest,
+            "vectorized_speedup_copylhs_sum": headline.get("sum", 0.0),
+            "speedup_bar": SPEEDUP_BAR,
+        },
+    }
+    # Smoke runs only refresh benchmarks/results/ — never the tracked
+    # repo-root baseline, which always holds a full run.
+    path = emit_json("kernels", payload, root_copy=not args.smoke)
+    print(f"wrote {path}")
+
+    headers = ["graph", "kernel", "op", "reduce", "sec", "Medges/s", "vs baseline"]
+    emit(
+        "kernel_engine",
+        table(
+            headers,
+            [
+                [
+                    r["graph"],
+                    r["kernel"],
+                    r["binary_op"],
+                    r["reduce_op"],
+                    r["seconds"],
+                    r["edges_per_s"] / 1e6,
+                    r["speedup_vs_baseline"],
+                ]
+                for r in results
+            ],
+        ),
+    )
+
+    if not args.smoke:
+        speedup = headline.get("sum", 0.0)
+        if speedup < SPEEDUP_BAR:
+            print(
+                f"FAIL: vectorized copylhs/sum speedup {speedup:.1f}x on "
+                f"{largest} is below the {SPEEDUP_BAR}x bar"
+            )
+            return 1
+        print(
+            f"OK: vectorized copylhs/sum speedup on {largest}: {speedup:.1f}x "
+            f"(bar: {SPEEDUP_BAR}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,11 @@ class TrainConfig:
     seed: int = 0
     #: GNN architecture: "sage" (paper default) or "gcn".
     model: str = "sage"
-    #: aggregation kernel passed to the differentiable SpMM.
+    #: aggregation kernel passed to the differentiable SpMM: any name in
+    #: :data:`repro.kernels.KERNELS` (``baseline``/``vectorized``/
+    #: ``reordered``/``blocked``) or ``"auto"``, which rides the vectorized
+    #: segment-reduce engine (bucketed above the cache threshold).
+    #: Validated at model build time.
     kernel: str = "auto"
     #: cd-r delay (epochs); the paper uses r=5.
     delay: int = 5

@@ -5,6 +5,11 @@ over the optimized aggregation kernels, full-batch loss on the training
 vertices, Adam/SGD with the paper's weight decay.  It both serves as the
 accuracy reference for the distributed algorithms (Table 5's 1-socket
 rows) and produces the Total/AP time split of Fig. 2.
+
+Every forward and backward AP of the model rides
+``TrainConfig.kernel`` (default ``"auto"`` → the vectorized
+segment-reduce engine; see ``docs/ARCHITECTURE.md``), so epoch times
+measure memory behaviour, not interpreter overhead.
 """
 
 from __future__ import annotations

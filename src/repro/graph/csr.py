@@ -98,6 +98,25 @@ class CSRGraph:
     def is_square(self) -> bool:
         return self.num_src == self.num_vertices
 
+    @property
+    def has_contiguous_edge_ids(self) -> bool:
+        """True when ``edge_ids`` is exactly ``arange(num_edges)``.
+
+        The common case for freshly built graphs; the vectorized kernel
+        then reads edge-feature rows as a zero-copy slice instead of a
+        gather.  Computed once and cached (arrays are immutable).
+        """
+        cached = getattr(self, "_trivial_eids", None)
+        if cached is None:
+            eids = self.edge_ids
+            cached = eids.size == 0 or (
+                eids[0] == 0
+                and eids[-1] == eids.size - 1
+                and bool(np.all(np.diff(eids) == 1))
+            )
+            object.__setattr__(self, "_trivial_eids", bool(cached))
+        return cached
+
     def in_degree(self, v: int) -> int:
         return int(self.indptr[v + 1] - self.indptr[v])
 

@@ -8,9 +8,14 @@ Kernel taxonomy (mirrors the paper's optimization ladder, Fig. 4):
 
 - :mod:`repro.kernels.baseline` — Alg. 1, the DGL-style per-destination
   pull loop (our stand-in for the un-optimized DGL 0.5.3 kernel).
-- :mod:`repro.kernels.blocked` — Alg. 2, source-dimension cache blocking.
-- :mod:`repro.kernels.reordered` — Alg. 3, loop reordering with full-width
-  vector inner kernels (our stand-in for LIBXSMM JITed SIMD).
+- :mod:`repro.kernels.vectorized` — the array-native segment-reduce
+  engine (gather → ⊗ → ``reduceat``); the shared inner kernel of every
+  optimized variant and the ``auto`` default below the block threshold
+  (our stand-in for LIBXSMM JITed SIMD).
+- :mod:`repro.kernels.blocked` — Alg. 2, source-dimension cache blocking;
+  each per-block pass runs through the vectorized engine.
+- :mod:`repro.kernels.reordered` — Alg. 3, loop reordering: cache-sized
+  destination buckets over the vectorized engine.
 - :mod:`repro.kernels.scheduling` — OpenMP static/dynamic scheduling
   simulator used to quantify load imbalance on power-law graphs.
 - :mod:`repro.kernels.spmm` — the public ``aggregate`` dispatch API
@@ -27,9 +32,10 @@ from repro.kernels.operators import (
     get_binary_op,
     get_reduce_op,
 )
-from repro.kernels.spmm import AggregationSpec, KERNELS, aggregate
+from repro.kernels.spmm import AggregationSpec, KERNELS, aggregate, validate_kernel
 from repro.kernels.scheduling import ScheduleResult, simulate_schedule
 from repro.kernels.tuning import choose_num_blocks
+from repro.kernels.vectorized import aggregate_vectorized, segment_pass
 
 __all__ = [
     "BinaryOp",
@@ -39,8 +45,11 @@ __all__ = [
     "get_binary_op",
     "get_reduce_op",
     "aggregate",
+    "aggregate_vectorized",
+    "segment_pass",
     "AggregationSpec",
     "KERNELS",
+    "validate_kernel",
     "simulate_schedule",
     "ScheduleResult",
     "choose_num_blocks",

@@ -21,7 +21,7 @@ from repro.graph.csr import CSRGraph
 from repro.kernels.operators import (
     BinaryOp,
     ReduceOp,
-    finalize_output,
+    finalize_with_graph,
     get_binary_op,
     get_reduce_op,
     init_output,
@@ -48,14 +48,16 @@ def aggregate_baseline(
         ``(num_edges_global, d)`` edge features, indexed by the graph's
         ``edge_ids`` (``None`` for unary ``copylhs``).
     out:
-        Optional pre-initialized output to accumulate into (used by the
-        blocked kernel to chain block passes).
+        Optional pre-initialized accumulator (used to chain partial
+        passes).  When given, the kernel ⊕-accumulates into it and skips
+        finalization; the caller finalizes after the last pass.
     """
     bop: BinaryOp = get_binary_op(binary_op)
     rop: ReduceOp = get_reduce_op(reduce_op)
     dim = _feature_dim(f_v, f_e)
     dtype = _feature_dtype(f_v, f_e)
-    if out is None:
+    created = out is None
+    if created:
         out = init_output(graph.num_vertices, dim, rop, dtype)
     indptr, indices, eids = graph.indptr, graph.indices, graph.edge_ids
     for v in range(graph.num_vertices):
@@ -66,7 +68,9 @@ def aggregate_baseline(
         rhs = f_e[eids[lo:hi]] if bop.uses_rhs else None
         msg = bop(lhs, rhs)
         out[v] = rop.ufunc(out[v], rop.ufunc.reduce(msg, axis=0))
-    return finalize_output(out, rop)
+    if created:
+        finalize_with_graph(out, rop, graph)
+    return out
 
 
 def aggregate_dense_reference(
@@ -90,7 +94,7 @@ def aggregate_dense_reference(
             lhs = f_v[u] if bop.uses_lhs else None
             rhs = f_e[e] if bop.uses_rhs else None
             out[v] = rop.ufunc(out[v], bop(lhs, rhs))
-    return finalize_output(out, rop)
+    return finalize_with_graph(out, rop, graph)
 
 
 def _feature_dim(f_v, f_e) -> int:

@@ -19,7 +19,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.graph.csr import CSRGraph, INDEX_DTYPE
-from repro.kernels.operators import finalize_output, get_binary_op, get_reduce_op, init_output
+from repro.kernels.operators import finalize_with_graph, get_binary_op, get_reduce_op, init_output
 from repro.kernels.baseline import _feature_dim, _feature_dtype
 from repro.kernels.reordered import aggregate_reordered
 
@@ -119,13 +119,19 @@ def aggregate_blocked(
     rop = get_reduce_op(reduce_op)
     dim = _feature_dim(f_v, f_e)
     dtype = _feature_dtype(f_v, f_e)
-    if out is None:
+    created = out is None
+    if created:
         out = init_output(blocked.graph.num_vertices, dim, rop, dtype)
     for block in blocked.blocks:
         # Accumulating into `out` across blocks relies on ⊕ associativity;
         # each pass touches all destination rows (the nB passes of f_O the
-        # paper's traffic analysis charges for).
+        # paper's traffic analysis charges for).  Each per-block pass runs
+        # through the shared vectorized inner kernel.
         aggregate_reordered(
             block, f_v, f_e, binary_op=bop, reduce_op=rop, out=out
         )
-    return finalize_output(out, rop)
+    if created:
+        # Counts come from the *original* graph: per-block degrees would
+        # under-count split rows.
+        finalize_with_graph(out, rop, blocked.graph)
+    return out

@@ -4,7 +4,12 @@
 ``(f_V[u], f_E[e])``), ``copylhs`` (unary, vertex features only) and
 ``copyrhs`` (unary, edge features only).
 
-``⊕`` (reduce): ``sum``, ``max``, ``min`` with their identities.
+``⊕`` (reduce): ``sum``, ``max``, ``min`` with their identities, plus
+``mean`` (a ``sum`` accumulation finalized by a per-row division with the
+in-degree — the GraphSAGE-mean aggregator).  Because ``mean`` is not a
+plain fold, kernels accumulate it exactly like ``sum`` and the division
+happens once in :func:`finalize_output`, which therefore needs the
+per-row message counts.
 
 Operators are described declaratively so every kernel variant (baseline,
 blocked, reordered) supports the full table through one code path — the
@@ -26,12 +31,16 @@ class BinaryOp:
     ``fn(lhs, rhs)`` computes the element-wise message.  For unary copy
     operators one side is ignored (``uses_lhs`` / ``uses_rhs`` say which
     operand is read, which the memory-traffic model also relies on).
+    ``ufunc`` is the underlying NumPy ufunc for true binary operators
+    (``None`` for the copies); the vectorized engine uses it to compute
+    messages in place into a scratch gather buffer.
     """
 
     name: str
     fn: Callable[[Optional[np.ndarray], Optional[np.ndarray]], np.ndarray]
     uses_lhs: bool
     uses_rhs: bool
+    ufunc: Optional[np.ufunc] = None
 
     def __call__(self, lhs, rhs):
         return self.fn(lhs, rhs)
@@ -43,12 +52,18 @@ class ReduceOp:
 
     ``ufunc`` must be an associative-commutative NumPy binary ufunc so that
     segment reduction (``reduceat``) and cross-block accumulation agree with
-    sequential reduction.
+    sequential reduction.  ``mean`` accumulates with ``np.add`` and defers
+    the count division to :func:`finalize_output` (``needs_counts``).
     """
 
     name: str
     ufunc: np.ufunc
     identity: float
+
+    @property
+    def needs_counts(self) -> bool:
+        """True when finalization requires per-row message counts."""
+        return self.name == "mean"
 
     def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Reduce two partial results (used when merging block outputs)."""
@@ -68,7 +83,7 @@ def _binary(name: str, fn) -> BinaryOp:
             raise ValueError(f"binary operator {name!r} needs both operands")
         return fn(lhs, rhs)
 
-    return BinaryOp(name=name, fn=wrapped, uses_lhs=True, uses_rhs=True)
+    return BinaryOp(name=name, fn=wrapped, uses_lhs=True, uses_rhs=True, ufunc=fn)
 
 
 def _copylhs(lhs, rhs):
@@ -96,6 +111,7 @@ REDUCE_OPS: Dict[str, ReduceOp] = {
     "sum": ReduceOp("sum", np.add, 0.0),
     "max": ReduceOp("max", np.maximum, -np.inf),
     "min": ReduceOp("min", np.minimum, np.inf),
+    "mean": ReduceOp("mean", np.add, 0.0),
 }
 
 
@@ -126,17 +142,53 @@ def get_reduce_op(name) -> ReduceOp:
 def init_output(num_rows: int, dim: int, reduce_op: ReduceOp, dtype) -> np.ndarray:
     """Output matrix filled with the reducer's identity (Alg. 1 requires
     zero-init for sum; max/min need -inf/+inf)."""
+    if reduce_op.needs_counts and not np.issubdtype(np.dtype(dtype), np.floating):
+        raise ValueError(
+            f"mean requires floating-point features, got dtype {np.dtype(dtype)}"
+        )
     out = np.empty((num_rows, dim), dtype=dtype)
     out.fill(reduce_op.identity)
     return out
 
 
-def finalize_output(out: np.ndarray, reduce_op: ReduceOp) -> np.ndarray:
-    """Replace untouched identity entries of max/min outputs with 0.
+def finalize_output(
+    out: np.ndarray, reduce_op: ReduceOp, counts: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Apply the reducer's one-time post-processing to a finished output.
 
-    DGL defines the reduction over an empty neighbourhood as 0; leaving
-    ±inf in rows with no in-edges would poison downstream layers.
+    - ``max``/``min``: replace untouched identity entries (±inf) with 0.
+      DGL defines the reduction over an empty neighbourhood as 0; leaving
+      ±inf in rows with no in-edges would poison downstream layers.
+    - ``mean``: divide each row by its message count (``counts``, usually
+      the in-degrees); empty rows stay 0.
+
+    Kernels call this exactly once per logical aggregation — when they
+    allocated the output themselves.  When accumulating into a
+    caller-provided ``out`` (block/bucket chaining) they skip it and the
+    outermost caller finalizes after the last partial pass.
     """
+    if reduce_op.needs_counts:
+        if counts is None:
+            raise ValueError("mean finalization requires per-row counts")
+        if not np.issubdtype(out.dtype, np.floating):
+            raise ValueError(
+                f"mean requires floating-point features, got dtype {out.dtype}"
+            )
+        denom = np.maximum(np.asarray(counts).reshape(-1, 1), 1)
+        np.true_divide(out, denom, out=out, casting="unsafe")
+        return out
     if reduce_op.name in ("max", "min") and not np.isfinite(reduce_op.identity):
         np.nan_to_num(out, copy=False, posinf=0.0, neginf=0.0)
     return out
+
+
+def finalize_with_graph(out: np.ndarray, reduce_op: ReduceOp, graph) -> np.ndarray:
+    """:func:`finalize_output` with the counts taken from ``graph``.
+
+    The shared epilogue of every kernel that allocated its own output:
+    ``mean`` needs the destination in-degrees, the other reducers don't.
+    ``graph`` is anything with ``in_degrees()`` (for chained block passes,
+    pass the *original* graph — per-block degrees would under-count).
+    """
+    counts = graph.in_degrees() if reduce_op.needs_counts else None
+    return finalize_output(out, reduce_op, counts=counts)

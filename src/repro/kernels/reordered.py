@@ -1,13 +1,18 @@
-"""Loop-reordered, vectorized aggregation — paper Algorithm 3.
+"""Loop-reordered, bucketed aggregation — paper Algorithm 3.
 
 LIBXSMM's contribution in the paper is (a) reordering the loop so each
 ``f_O[v]`` row is finalized once per block and (b) JITed SIMD inner
-kernels.  The NumPy analogue is to express the whole inner loop as
-full-feature-width array operations:
+kernels.  The NumPy analogue of (b) lives in
+:mod:`repro.kernels.vectorized`; this module contributes (a): it walks
+destination rows in cache-sized *buckets* and runs each bucket through
+the shared vectorized inner kernel (:func:`~repro.kernels.vectorized.segment_pass`),
+so the per-edge message intermediate is bounded by the bucket's edge
+count instead of the whole graph's.
 
-- the *fast path* (``copylhs``/``sum``, the GNN workhorse) lowers to a
-  sparse-matrix-times-dense-matrix product with no per-edge intermediate;
-- the *general path* materializes per-edge messages in bounded row chunks
+- the *fast path* (``copylhs`` with an add-accumulating ``⊕``, the GNN
+  workhorse) lowers to a sparse-matrix-times-dense-matrix product with no
+  per-edge intermediate;
+- the *general path* materializes per-edge messages one bucket at a time
   and segment-reduces them, keeping the working set cache-sized (the
   "loop reordering" half of Alg. 3).
 
@@ -23,17 +28,10 @@ from typing import Optional
 import numpy as np
 
 from repro.graph.csr import CSRGraph
-from repro.kernels.operators import (
-    finalize_output,
-    get_binary_op,
-    get_reduce_op,
-    init_output,
-)
-from repro.kernels.baseline import _feature_dim, _feature_dtype
-from repro.kernels.segment import segment_reduce
+from repro.kernels.vectorized import aggregate_vectorized
 
-#: Rows processed per chunk on the general path; bounds the per-edge message
-#: intermediate to roughly (chunk_avg_degree * CHUNK_ROWS, d) floats.
+#: Rows processed per bucket on the general path; bounds the per-edge message
+#: intermediate to roughly (bucket_avg_degree * CHUNK_ROWS, d) floats.
 DEFAULT_CHUNK_ROWS = 8192
 
 
@@ -46,49 +44,18 @@ def aggregate_reordered(
     out: Optional[np.ndarray] = None,
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
 ) -> np.ndarray:
-    """Vectorized AP with full-width inner kernels (Alg. 3 analogue)."""
-    bop = get_binary_op(binary_op)
-    rop = get_reduce_op(reduce_op)
-    dim = _feature_dim(f_v, f_e)
-    dtype = _feature_dtype(f_v, f_e)
-    created = out is None
-    if created:
-        out = init_output(graph.num_vertices, dim, rop, dtype)
+    """Bucketed AP over the vectorized inner kernel (Alg. 3 analogue).
 
-    if bop.name == "copylhs" and rop.name == "sum":
-        _spmm_fast_path(graph, f_v, out)
-    else:
-        _general_path(graph, f_v, f_e, bop, rop, out, chunk_rows)
-    if created:
-        finalize_output(out, rop)
-    return out
-
-
-def _spmm_fast_path(graph: CSRGraph, f_v: np.ndarray, out: np.ndarray) -> None:
-    """``f_O += A @ f_V`` via scipy's compiled CSR kernel."""
-    adj = graph.to_scipy()
-    out += adj @ f_v
-
-
-def _general_path(
-    graph: CSRGraph,
-    f_v: Optional[np.ndarray],
-    f_e: Optional[np.ndarray],
-    bop,
-    rop,
-    out: np.ndarray,
-    chunk_rows: int,
-) -> None:
-    indptr, indices, eids = graph.indptr, graph.indices, graph.edge_ids
-    n = graph.num_vertices
-    chunk_rows = max(int(chunk_rows), 1)
-    for row_lo in range(0, n, chunk_rows):
-        row_hi = min(row_lo + chunk_rows, n)
-        lo, hi = indptr[row_lo], indptr[row_hi]
-        if lo == hi:
-            continue
-        lhs = f_v[indices[lo:hi]] if bop.uses_lhs else None
-        rhs = f_e[eids[lo:hi]] if bop.uses_rhs else None
-        msg = bop(lhs, rhs)
-        local_indptr = indptr[row_lo : row_hi + 1] - lo
-        segment_reduce(msg, local_indptr, rop, out[row_lo:row_hi])
+    Identical semantics to :func:`~repro.kernels.vectorized.aggregate_vectorized`
+    (including the ``out=`` accumulate-without-finalize contract); the only
+    difference is the bounded ``chunk_rows`` bucket size.
+    """
+    return aggregate_vectorized(
+        graph,
+        f_v,
+        f_e,
+        binary_op=binary_op,
+        reduce_op=reduce_op,
+        out=out,
+        row_chunk=chunk_rows,
+    )

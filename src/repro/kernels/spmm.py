@@ -17,6 +17,7 @@ from repro.graph.csr import CSRGraph
 from repro.kernels.baseline import aggregate_baseline, aggregate_dense_reference
 from repro.kernels.blocked import BlockedGraph, aggregate_blocked
 from repro.kernels.reordered import aggregate_reordered
+from repro.kernels.vectorized import aggregate_vectorized
 
 
 @dataclass(frozen=True)
@@ -32,14 +33,35 @@ class AggregationSpec:
 #: kernel name -> callable(graph, f_v, f_e, binary_op, reduce_op, **kw)
 KERNELS: Dict[str, Callable] = {
     "baseline": aggregate_baseline,
+    "vectorized": aggregate_vectorized,
     "reordered": aggregate_reordered,
     "blocked": aggregate_blocked,
     "reference": aggregate_dense_reference,
 }
 
-#: Heuristic vertex-count threshold above which blocking starts to pay off
-#: on dense graphs (roughly: f_V no longer fits in a socket-sized LLC).
+#: Heuristic vertex-count threshold above which the working set stops
+#: fitting in a socket-sized LLC.  Below it ``auto`` runs the unchunked
+#: vectorized engine; above it the reordered variant, which runs the same
+#: engine in cache-sized destination buckets so the per-edge message
+#: intermediate stays bounded.  Explicit source blocking (Alg. 2) is
+#: opt-in — pass ``num_blocks > 1`` or a pre-built :class:`BlockedGraph`;
+#: the benchmark baseline (``BENCH_kernels.json``) shows on-the-fly block
+#: construction costs more than one engine pass, so ``auto`` never picks
+#: it blind.
 _AUTO_BLOCK_THRESHOLD = 1 << 15
+
+
+def validate_kernel(name: str) -> str:
+    """Fail fast on an unknown kernel name (``"auto"`` is always valid).
+
+    Trainers call this at construction time so a typo in
+    ``TrainConfig.kernel`` surfaces before the first epoch, not mid-run.
+    """
+    if name != "auto" and name not in KERNELS:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: ['auto'] + {sorted(KERNELS)}"
+        )
+    return name
 
 
 def aggregate(
@@ -62,13 +84,38 @@ def aggregate(
         Vertex / edge feature matrices; either may be ``None`` when the
         operator doesn't read it (``copyrhs`` / ``copylhs``).
     binary_op, reduce_op:
-        Operator names from paper Table 1.
+        Operator names from paper Table 1 (plus ``mean``).
     kernel:
-        ``"baseline"`` (Alg. 1), ``"reordered"`` (Alg. 3), ``"blocked"``
-        (Alg. 2 over Alg. 3), ``"reference"`` (test-only), or ``"auto"``.
+        - ``"baseline"`` — Alg. 1, the per-destination Python loop (the
+          un-optimized DGL stand-in; for measurement only).
+        - ``"vectorized"`` — the array-native segment-reduce engine
+          (:mod:`repro.kernels.vectorized`): one gather → ⊗ → ``reduceat``
+          pass over the whole graph, with a scipy SpMM fast path for the
+          ``copylhs``/add-accumulating workhorse.
+        - ``"reordered"`` — Alg. 3: the same engine run bucket-by-bucket
+          so the per-edge message intermediate stays cache-sized.
+        - ``"blocked"`` — Alg. 2 over Alg. 3: source-range blocks, each
+          pass through the shared vectorized inner kernel.
+        - ``"reference"`` — edge-at-a-time dense reference (test-only).
+        - ``"auto"`` — ``vectorized`` for graphs below
+          ``_AUTO_BLOCK_THRESHOLD`` sources, ``reordered`` (the bucketed
+          engine) above it; ``blocked`` whenever ``num_blocks > 1`` is
+          requested or a pre-built :class:`BlockedGraph` is passed.
     num_blocks:
         Block count for the blocked kernel; ``None`` lets the auto-tuner
         pick (see :mod:`repro.kernels.tuning`).
+    out:
+        Optional ``(num_vertices, d)`` accumulator, identical semantics
+        across every kernel except ``"reference"`` (which rejects it):
+        ``out`` must be pre-filled with the reducer identity (see
+        :func:`repro.kernels.operators.init_output`) or hold a partial
+        result being chained; the kernel ⊕-accumulates row reductions
+        into it and **skips finalization** — no ±inf→0 cleanup for
+        ``max``/``min`` and no count division for ``mean``.  Callers
+        chaining passes call
+        :func:`repro.kernels.operators.finalize_output` once after the
+        last pass.  When ``out`` is ``None`` the kernel allocates,
+        accumulates, and finalizes, returning a ready-to-use output.
     """
     from repro.kernels.instrumentation import time_ap
 
@@ -103,8 +150,8 @@ def _auto_select(graph, f_v, f_e, num_blocks):
     if num_blocks is not None and num_blocks > 1:
         return "blocked", num_blocks
     if graph.num_src >= _AUTO_BLOCK_THRESHOLD:
-        return "blocked", num_blocks
-    return "reordered", num_blocks
+        return "reordered", num_blocks
+    return "vectorized", num_blocks
 
 
 def _dim_of(f_v, f_e) -> int:

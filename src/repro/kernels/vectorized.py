@@ -1,0 +1,162 @@
+"""Vectorized segment-reduce aggregation engine.
+
+This is the array-native inner kernel every optimized variant funnels
+through.  One pass is::
+
+    gather   lhs = f_V[indices],  rhs = f_E[edge_ids]     (NumPy fancy index)
+    message  msg = lhs ⊗ rhs                              (element-wise ufunc)
+    reduce   f_O[v] ⊕= reduceat(msg, row starts)          (segment reduce)
+
+so the whole AP runs in compiled NumPy loops with no Python-level
+iteration over destinations — the role LIBXSMM's JITed SIMD kernels play
+in the paper.  The empty-row ``reduceat`` pitfall is handled by
+:func:`repro.kernels.segment.segment_reduce`.
+
+Three public entry points:
+
+- :func:`aggregate_vectorized` — the ``kernel="vectorized"`` variant: one
+  unchunked pass over the whole graph (plus a scipy CSR SpMM fast path
+  for the ``copylhs``/``sum``-family workhorse).
+- :func:`segment_pass` — one gather → ⊗ → reduceat pass over a row range,
+  accumulated into the matching output rows.  The reordered kernel runs
+  its per-bucket passes and (through it) the blocked kernel runs its
+  per-block passes on this exact function, so all variants share one
+  inner kernel and differ only in iteration structure.
+- ``mean`` support: the engine accumulates like ``sum`` and the count
+  division happens once in ``finalize_output`` (see
+  :mod:`repro.kernels.operators`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.kernels.baseline import _feature_dim, _feature_dtype
+from repro.kernels.operators import (
+    BinaryOp,
+    ReduceOp,
+    finalize_with_graph,
+    get_binary_op,
+    get_reduce_op,
+    init_output,
+)
+from repro.kernels.segment import segment_reduce
+
+
+def segment_pass(
+    graph: CSRGraph,
+    f_v: Optional[np.ndarray],
+    f_e: Optional[np.ndarray],
+    bop: BinaryOp,
+    rop: ReduceOp,
+    out: np.ndarray,
+    row_lo: int = 0,
+    row_hi: Optional[int] = None,
+) -> np.ndarray:
+    """One vectorized pass over destination rows ``[row_lo, row_hi)``.
+
+    Gathers the operand rows of every edge in the range, applies ``⊗``
+    edge-wise, and segment-reduces the messages into ``out[row_lo:row_hi]``
+    with ``⊕``.  ``out`` rows must already hold the reducer identity (or a
+    partial result being chained); rows with no edges in the range are
+    left untouched.  This function never finalizes — callers chaining
+    several passes finalize once at the end.
+    """
+    indptr = graph.indptr
+    if row_hi is None:
+        row_hi = graph.num_vertices
+    lo, hi = int(indptr[row_lo]), int(indptr[row_hi])
+    if lo == hi:
+        return out
+    lhs = f_v[graph.indices[lo:hi]] if bop.uses_lhs else None
+    if bop.uses_rhs:
+        # Zero-copy slice when edge ids are the identity permutation.
+        if graph.has_contiguous_edge_ids:
+            rhs = f_e[lo:hi]
+        else:
+            rhs = f_e[graph.edge_ids[lo:hi]]
+    else:
+        rhs = None
+    if (
+        bop.ufunc is not None
+        and lhs is not None
+        and rhs is not None
+        and lhs.dtype == rhs.dtype
+        and np.issubdtype(lhs.dtype, np.floating)
+    ):
+        # `lhs` is a private gather buffer — compute the message into it
+        # instead of allocating a third edge-sized intermediate.
+        msg = bop.ufunc(lhs, rhs, out=lhs)
+    else:
+        msg = bop(lhs, rhs)
+    local_indptr = indptr[row_lo : row_hi + 1] - lo
+    segment_reduce(msg, local_indptr, rop, out[row_lo:row_hi])
+    return out
+
+
+def aggregate_vectorized(
+    graph: CSRGraph,
+    f_v: Optional[np.ndarray],
+    f_e: Optional[np.ndarray] = None,
+    binary_op="copylhs",
+    reduce_op="sum",
+    out: Optional[np.ndarray] = None,
+    row_chunk: Optional[int] = None,
+) -> np.ndarray:
+    """Fully vectorized AP: ``f_O[v] = ⊕_u (f_V[u] ⊗ f_E[e_uv])``.
+
+    Parameters
+    ----------
+    graph:
+        Destination-major CSR adjacency.
+    f_v, f_e:
+        Vertex / edge feature matrices; either may be ``None`` when the
+        operator doesn't read it.
+    binary_op, reduce_op:
+        Operator names (or objects) from paper Table 1, plus ``mean``.
+    out:
+        Optional accumulator pre-filled with the reducer identity.  When
+        given, the kernel only ⊕-accumulates partial results into it and
+        skips finalization (±inf cleanup / mean division) — the caller
+        finalizes after its last chained pass.
+    row_chunk:
+        When set, process destinations in buckets of this many rows so the
+        per-edge message intermediate stays cache-sized (this is how the
+        reordered kernel calls the engine); ``None`` runs one full pass.
+    """
+    bop = get_binary_op(binary_op)
+    rop = get_reduce_op(reduce_op)
+    dim = _feature_dim(f_v, f_e)
+    dtype = _feature_dtype(f_v, f_e)
+    created = out is None
+    if created:
+        out = init_output(graph.num_vertices, dim, rop, dtype)
+
+    if bop.name == "copylhs" and rop.ufunc is np.add:
+        _spmm_fast_path(graph, f_v, out)
+    elif row_chunk:
+        n = graph.num_vertices
+        step = max(int(row_chunk), 1)
+        for row_lo in range(0, n, step):
+            segment_pass(
+                graph, f_v, f_e, bop, rop, out, row_lo, min(row_lo + step, n)
+            )
+    else:
+        segment_pass(graph, f_v, f_e, bop, rop, out)
+
+    if created:
+        finalize_with_graph(out, rop, graph)
+    return out
+
+
+def _spmm_fast_path(graph: CSRGraph, f_v: np.ndarray, out: np.ndarray) -> None:
+    """``f_O += A @ f_V`` via scipy's compiled CSR kernel.
+
+    Valid for any add-accumulating reducer (``sum`` and the ``mean``
+    pre-division accumulation).
+    """
+    adj = graph.to_scipy()
+    out += adj @ f_v

@@ -6,9 +6,13 @@ back to the parent shape with :func:`_unbroadcast` (summing the expanded
 axes), matching NumPy broadcast semantics.
 
 ``spmm`` is the differentiable aggregation primitive: forward runs the
-optimized kernel of :mod:`repro.kernels`; backward multiplies by the
-transposed adjacency (cached per graph), which is exactly the adjoint of
-``f_O = A f_V``.
+optimized kernel of :mod:`repro.kernels` (by default ``kernel="auto"``,
+which rides the vectorized segment-reduce engine — see
+``docs/ARCHITECTURE.md``); backward multiplies by the transposed
+adjacency (cached per graph), which is exactly the adjoint of
+``f_O = A f_V``.  Both directions of every graph op here therefore run
+array-native end to end; no Python-level per-destination loop remains on
+the training path.
 """
 
 from __future__ import annotations
@@ -165,9 +169,11 @@ def spmm(
 ) -> Tensor:
     """Differentiable aggregation ``out = A @ features`` (copylhs/sum AP).
 
-    Backward applies the transposed adjacency: ``d features = A^T @ g``.
-    The reversed CSR is cached on the graph object after the first call so
-    training reuses it every epoch.
+    ``kernel`` accepts any :data:`repro.kernels.KERNELS` name (``"auto"``
+    picks the vectorized engine or, above the block threshold, the
+    blocked kernel).  Backward applies the transposed adjacency:
+    ``d features = A^T @ g``.  The reversed CSR is cached on the graph
+    object after the first call so training reuses it every epoch.
     """
     out = aggregate(
         graph, features.data, kernel=kernel, num_blocks=num_blocks
@@ -247,21 +253,29 @@ def edge_softmax(graph: CSRGraph, logits: Tensor) -> Tensor:
     return _make(soft, (logits,), backward, "edge_softmax")
 
 
-def weighted_spmm(graph: CSRGraph, features: Tensor, weights: Tensor) -> Tensor:
+def weighted_spmm(
+    graph: CSRGraph, features: Tensor, weights: Tensor, kernel: str = "auto"
+) -> Tensor:
     """Attention-weighted aggregation ``out[v] = sum_u w_uv * h_u``.
 
-    ``weights`` is ``(num_edges, 1)`` in edge-id order.  Gradients flow to
-    both operands: features through the transposed adjacency with the same
-    weights, weights through the SDDMM-dot of endpoint features/gradients.
+    ``weights`` is ``(num_edges, 1)`` in edge-id order.  The ``mul``/``sum``
+    AP has no SpMM lowering, so ``auto`` runs the gather → ``reduceat``
+    engine — unchunked below the cache threshold, bucketed above it so
+    the per-edge intermediate stays bounded on large graphs.
+    Gradients flow to both operands: features through the transposed
+    adjacency with the same weights, weights through the SDDMM-dot of
+    endpoint features/gradients.
     """
     out = aggregate(
-        graph, features.data, weights.data, binary_op="mul", reduce_op="sum"
+        graph, features.data, weights.data, binary_op="mul", reduce_op="sum",
+        kernel=kernel,
     )
     reverse = _cached_reverse(graph)
 
     def backward(g):
         gf = aggregate(
-            reverse, g, weights.data, binary_op="mul", reduce_op="sum"
+            reverse, g, weights.data, binary_op="mul", reduce_op="sum",
+            kernel=kernel,
         )
         from repro.kernels.sddmm import sddmm
 

@@ -41,9 +41,11 @@ class GCNConv(Module):
         kernel: str = "auto",
     ):
         super().__init__()
+        from repro.kernels import validate_kernel
+
         self.linear = Linear(in_features, out_features, rng=rng)
         self.activation = activation
-        self.kernel = kernel
+        self.kernel = validate_kernel(kernel)
 
     def aggregate(self, graph: CSRGraph, h: Tensor, sym_norm: Tensor) -> Tensor:
         """The AP over pre-scaled features: ``z = A @ (h * D^-1/2)``.

@@ -39,9 +39,11 @@ class GINConv(Module):
         rng = rng or np.random.default_rng(0)
         self.mlp1 = Linear(in_features, hidden, rng=rng)
         self.mlp2 = Linear(hidden, out_features, rng=rng)
+        from repro.kernels import validate_kernel
+
         self.eps = Parameter(np.zeros(1, dtype=np.float32), name="eps")
         self.activation = activation
-        self.kernel = kernel
+        self.kernel = validate_kernel(kernel)
 
     def __call__(self, graph: CSRGraph, h: Tensor) -> Tensor:
         agg = F.spmm(graph, h, kernel=self.kernel)

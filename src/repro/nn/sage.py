@@ -43,9 +43,13 @@ class SageConvGCN(Module):
         kernel: str = "auto",
     ):
         super().__init__()
+        from repro.kernels import validate_kernel
+
         self.linear = Linear(in_features, out_features, rng=rng)
         self.activation = activation
-        self.kernel = kernel
+        #: aggregation kernel name forwarded to ``F.spmm`` (validated here
+        #: so a bad ``TrainConfig.kernel`` fails at model build time).
+        self.kernel = validate_kernel(kernel)
 
     def aggregate(
         self, graph: CSRGraph, h: Tensor, norm: Optional[Tensor] = None

@@ -6,6 +6,11 @@ and pushes it through the same :class:`~repro.nn.sage.SageConvGCN` layers
 full-batch training uses (one block per layer; the self term is the
 leading row-slice of the source frontier).  Evaluation runs the trained
 weights full-graph, as Dist-DGL does for test accuracy.
+
+Per-block aggregation dispatches through ``TrainConfig.kernel`` exactly
+like the full-batch path, so sampled message-flow blocks ride the
+vectorized segment-reduce engine too (sampled blocks are rectangular
+CSRs, which the engine handles natively).
 """
 
 from __future__ import annotations

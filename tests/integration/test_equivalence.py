@@ -59,6 +59,36 @@ class TestCd0Equivalence:
             )
 
 
+class TestAutoDispatchRegression:
+    """`auto` now rides the vectorized engine — its numerics must still
+    match the Alg.-1 baseline kernel on real dataset features."""
+
+    def test_auto_matches_baseline_numerics(self, reddit_mini):
+        from repro.kernels import aggregate
+
+        h = reddit_mini.features
+        auto = aggregate(reddit_mini.graph, h, kernel="auto")
+        base = aggregate(reddit_mini.graph, h, kernel="baseline")
+        # float32 features: different (but equally valid) summation orders
+        np.testing.assert_allclose(auto, base, rtol=1e-2, atol=1e-4)
+
+    def test_auto_matches_baseline_full_operator_table(self, reddit_mini):
+        from repro.kernels import BINARY_OPS, REDUCE_OPS, aggregate
+
+        g = reddit_mini.graph
+        rng = np.random.default_rng(0)
+        f_v = rng.standard_normal((g.num_src, 4)) + 2.0
+        f_e = rng.standard_normal((g.num_edges, 4)) + 2.0
+        for binary_op in BINARY_OPS:
+            for reduce_op in REDUCE_OPS:
+                auto = aggregate(g, f_v, f_e, binary_op, reduce_op, kernel="auto")
+                base = aggregate(g, f_v, f_e, binary_op, reduce_op, kernel="baseline")
+                np.testing.assert_allclose(
+                    auto, base, rtol=1e-6, atol=1e-6,
+                    err_msg=f"auto != baseline for {binary_op}/{reduce_op}",
+                )
+
+
 class TestAlgorithmOrdering:
     def test_comm_volume_ordering(self, reddit_mini):
         vols = {}

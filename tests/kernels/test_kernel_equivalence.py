@@ -7,10 +7,12 @@ import pytest
 
 from repro.kernels.baseline import aggregate_baseline, aggregate_dense_reference
 from repro.kernels.blocked import aggregate_blocked
+from repro.kernels.operators import finalize_output, get_reduce_op, init_output
 from repro.kernels.reordered import aggregate_reordered
+from repro.kernels.vectorized import aggregate_vectorized
 
 BINARY = ["add", "sub", "mul", "div", "copylhs", "copyrhs"]
-REDUCE = ["sum", "max", "min"]
+REDUCE = ["sum", "max", "min", "mean"]
 
 
 def _features(graph, dim=5, seed=0):
@@ -50,12 +52,77 @@ def test_blocked_matches_reference(small_rmat, binary_op, reduce_op, num_blocks)
     np.testing.assert_allclose(out, ref, rtol=1e-9, atol=1e-9)
 
 
+@pytest.mark.parametrize("binary_op", BINARY)
+@pytest.mark.parametrize("reduce_op", REDUCE)
+def test_vectorized_matches_reference(small_rmat, binary_op, reduce_op):
+    f_v, f_e = _features(small_rmat)
+    ref = aggregate_dense_reference(small_rmat, f_v, f_e, binary_op, reduce_op)
+    out = aggregate_vectorized(small_rmat, f_v, f_e, binary_op, reduce_op)
+    np.testing.assert_allclose(out, ref, rtol=1e-9, atol=1e-9)
+
+
+@pytest.mark.parametrize("binary_op", BINARY)
+@pytest.mark.parametrize("reduce_op", REDUCE)
+def test_vectorized_chunked_matches_reference(small_rmat, binary_op, reduce_op):
+    """Bucketed engine passes (the reordered iteration shape) agree too."""
+    f_v, f_e = _features(small_rmat)
+    ref = aggregate_dense_reference(small_rmat, f_v, f_e, binary_op, reduce_op)
+    out = aggregate_vectorized(
+        small_rmat, f_v, f_e, binary_op, reduce_op, row_chunk=13
+    )
+    np.testing.assert_allclose(out, ref, rtol=1e-9, atol=1e-9)
+
+
 @pytest.mark.parametrize("reduce_op", REDUCE)
 def test_empty_rows_get_zero(reduce_op, line_graph):
     """Vertices with no in-edges must produce 0, not the reducer identity."""
     f_v, _ = _features(line_graph, dim=3)
-    out = aggregate_reordered(line_graph, f_v, None, "copylhs", reduce_op)
-    assert np.array_equal(out[0], np.zeros(3))  # vertex 0 has no in-edges
+    for fn in (aggregate_reordered, aggregate_vectorized):
+        out = fn(line_graph, f_v, None, "copylhs", reduce_op)
+        assert np.array_equal(out[0], np.zeros(3))  # vertex 0 has no in-edges
+
+
+@pytest.mark.parametrize("reduce_op", REDUCE)
+@pytest.mark.parametrize("num_edges", [0, 3])
+def test_single_vertex_graph(reduce_op, num_edges):
+    """A 1-vertex graph (with self-loops or no edges at all) is valid input."""
+    from repro.graph.builders import coo_to_csr
+
+    src = np.zeros(num_edges, dtype=np.int64)
+    g = coo_to_csr(src, src, num_dst=1, num_src=1)
+    f_v = np.array([[3.0, -1.0]])
+    f_e = np.arange(2 * num_edges, dtype=np.float64).reshape(num_edges, 2)
+    ref = aggregate_dense_reference(g, f_v, f_e, "add", reduce_op)
+    out = aggregate_vectorized(g, f_v, f_e, "add", reduce_op)
+    np.testing.assert_allclose(out, ref, rtol=1e-12, atol=1e-12)
+    if num_edges == 0:
+        assert np.array_equal(out, np.zeros((1, 2)))  # identity cleared
+
+
+@pytest.mark.parametrize("reduce_op", ["max", "min"])
+def test_vectorized_identity_handling(line_graph, reduce_op):
+    """±inf identities never leak: empty rows finalize to exactly 0."""
+    f_v, _ = _features(line_graph, dim=2)
+    out = aggregate_vectorized(line_graph, f_v, None, "copylhs", reduce_op)
+    assert np.all(np.isfinite(out))
+    assert np.array_equal(out[0], np.zeros(2))
+
+
+@pytest.mark.parametrize("reduce_op", REDUCE)
+def test_vectorized_out_accumulation_contract(small_rmat, reduce_op):
+    """Chaining passes into `out` + one finalize == the one-shot result."""
+    f_v, f_e = _features(small_rmat)
+    rop = get_reduce_op(reduce_op)
+    expected = aggregate_vectorized(small_rmat, f_v, f_e, "mul", reduce_op)
+    out = init_output(small_rmat.num_vertices, f_v.shape[1], rop, f_v.dtype)
+    # split the source range in two and chain the partial passes
+    mid = small_rmat.num_src // 2
+    for lo, hi in ((0, mid), (mid, small_rmat.num_src)):
+        block = small_rmat.source_block(lo, hi)
+        aggregate_vectorized(block, f_v, f_e, "mul", reduce_op, out=out)
+    counts = small_rmat.in_degrees() if rop.needs_counts else None
+    finalize_output(out, rop, counts=counts)
+    np.testing.assert_allclose(out, expected, rtol=1e-9, atol=1e-9)
 
 
 def test_spmm_equals_scipy(small_rmat):

@@ -56,13 +56,20 @@ class TestBinaryOps:
 
 class TestReduceOps:
     def test_table1_complete(self):
-        assert set(REDUCE_OPS) == {"sum", "max", "min"}
+        assert set(REDUCE_OPS) == {"sum", "max", "min", "mean"}
 
     @pytest.mark.parametrize(
-        "name,identity", [("sum", 0.0), ("max", -np.inf), ("min", np.inf)]
+        "name,identity",
+        [("sum", 0.0), ("max", -np.inf), ("min", np.inf), ("mean", 0.0)],
     )
     def test_identities(self, name, identity):
         assert get_reduce_op(name).identity == identity
+
+    def test_mean_accumulates_like_sum(self):
+        rop = get_reduce_op("mean")
+        assert rop.ufunc is np.add
+        assert rop.needs_counts
+        assert not get_reduce_op("sum").needs_counts
 
     def test_combine(self):
         rop = get_reduce_op("max")
@@ -93,3 +100,19 @@ class TestOutputHelpers:
         out = init_output(2, 2, rop, np.float64)
         finalize_output(out, rop)
         assert np.all(out == 0.0)
+
+    def test_finalize_mean_divides_by_counts(self):
+        rop = get_reduce_op("mean")
+        out = np.array([[6.0, 4.0], [0.0, 0.0], [3.0, 3.0]])
+        finalize_output(out, rop, counts=np.array([2, 0, 3]))
+        np.testing.assert_allclose(out, [[3.0, 2.0], [0.0, 0.0], [1.0, 1.0]])
+
+    def test_finalize_mean_requires_counts(self):
+        rop = get_reduce_op("mean")
+        with pytest.raises(ValueError, match="counts"):
+            finalize_output(np.zeros((2, 2)), rop)
+
+    def test_finalize_mean_rejects_integer_output(self):
+        rop = get_reduce_op("mean")
+        with pytest.raises(ValueError, match="floating"):
+            finalize_output(np.zeros((2, 2), dtype=np.int64), rop, counts=[1, 2])

@@ -11,18 +11,32 @@ from repro.kernels.spmm import AggregationSpec, KERNELS
 
 class TestDispatch:
     def test_all_kernels_registered(self):
-        assert set(KERNELS) == {"baseline", "reordered", "blocked", "reference"}
+        assert set(KERNELS) == {
+            "baseline",
+            "vectorized",
+            "reordered",
+            "blocked",
+            "reference",
+        }
 
-    @pytest.mark.parametrize("kernel", ["baseline", "reordered", "blocked"])
+    @pytest.mark.parametrize("kernel", ["baseline", "vectorized", "reordered", "blocked"])
     def test_kernels_agree(self, small_rmat, small_features, kernel):
         out = aggregate(small_rmat, small_features, kernel=kernel, num_blocks=2)
         ref = aggregate(small_rmat, small_features, kernel="reference")
         np.testing.assert_allclose(out, ref, rtol=1e-4)
 
-    def test_auto_small_graph_uses_reordered(self, small_rmat, small_features):
+    def test_auto_small_graph_uses_vectorized(self, small_rmat, small_features):
         out = aggregate(small_rmat, small_features, kernel="auto")
-        ref = aggregate(small_rmat, small_features, kernel="reordered")
+        ref = aggregate(small_rmat, small_features, kernel="vectorized")
         np.testing.assert_allclose(out, ref, rtol=1e-6)
+
+    def test_validate_kernel(self):
+        from repro.kernels import validate_kernel
+
+        assert validate_kernel("auto") == "auto"
+        assert validate_kernel("vectorized") == "vectorized"
+        with pytest.raises(KeyError, match="unknown kernel"):
+            validate_kernel("cuda")
 
     def test_unknown_kernel(self, small_rmat, small_features):
         with pytest.raises(KeyError, match="unknown kernel"):
