@@ -8,6 +8,11 @@ pays for neighbour sampling and random feature gathers.
 Model: DistGNN from the Fig.-5 epoch model; Dist-DGL = sampled
 aggregation (roofline at gather efficiency) + per-sampled-edge sampling
 cost + per-batch feature-fetch traffic.
+
+CLI mode: ``python benchmarks/bench_table9_distdgl.py --backend shm``
+re-runs the comparison *executed* instead of modelled — the mini-batch
+(Dist-DGL-style) trainer against full-batch cd-5 on the chosen execution
+backend, reporting measured wall-clock per epoch.
 """
 
 import pytest
@@ -87,3 +92,61 @@ def test_table9_distdgl_comparison(products_bench, benchmark):
     assert 0.25 < gnn16 / dgl16 < 4.0
 
     benchmark(_distdgl_epoch_time, 16)
+
+
+# -- executed comparison (CLI) ------------------------------------------------
+
+
+def executed_comparison(
+    backend: str, ranks: int = 4, epochs: int = 4, scale: float = 0.1
+):
+    """Measured Table-9 stand-in: sampled mini-batch vs full-batch cd-5.
+
+    Both trainers run for real on the products stand-in; the full-batch
+    side uses the chosen execution backend (``shm`` = one process per
+    rank, measured parallel wall-clock).
+    """
+    from repro.core import DistributedTrainer, TrainConfig
+    from repro.graph.datasets import load_dataset
+    from repro.sampling import MiniBatchTrainer
+
+    ds = load_dataset("ogbn-products", scale=scale, seed=0)
+    cfg = TrainConfig(
+        num_layers=2, hidden_features=16, learning_rate=0.01,
+        eval_every=0, seed=0, backend=backend,
+    )
+    mb = MiniBatchTrainer(ds, fanouts=[10, 10], batch_size=1024, config=cfg)
+    mb_result = mb.fit(num_epochs=epochs)
+    fb = DistributedTrainer(ds, ranks, algorithm="cd-5", config=cfg)
+    fb_result = fb.fit(num_epochs=epochs)
+    rows = [
+        ["minibatch (DistDGL-style)", 1, round(mb_result.avg_epoch_time_s, 4),
+         round(mb_result.final_test_acc, 4)],
+        [f"full-batch cd-5 ({backend})", ranks,
+         round(fb_result.avg_epoch_time_s, 4),
+         round(fb_result.final_test_acc, 4)],
+    ]
+    lines = [f"executed Table-9 stand-in — {ds.summary()}", ""]
+    lines += table(["trainer", "ranks", "epoch_s", "test_acc"], rows)
+    emit(f"table9_executed_{backend}", lines)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", choices=("sim", "shm"), default="shm")
+    parser.add_argument("--ranks", type=int, default=4)
+    parser.add_argument("--epochs", type=int, default=4)
+    parser.add_argument("--scale", type=float, default=0.1)
+    args = parser.parse_args(argv)
+    executed_comparison(
+        args.backend, ranks=args.ranks, epochs=args.epochs, scale=args.scale
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

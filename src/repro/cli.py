@@ -45,6 +45,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument(
         "--compression", choices=("none", "fp16", "bf16"), default="none"
     )
+    p_train.add_argument(
+        "--backend", choices=("sim", "shm"), default="sim",
+        help="distributed execution backend: in-process lockstep simulator "
+        "or one OS process per rank over shared memory (partitions > 1)",
+    )
     p_train.add_argument("--checkpoint", default=None, help="save final state here")
 
     p_sample = sub.add_parser("sample", help="mini-batch training")
@@ -123,6 +128,7 @@ def cmd_train(args) -> int:
         eval_every=max(args.epochs // 5, 1),
         seed=args.seed,
         compression=args.compression,
+        backend=args.backend,
     ).for_dataset(ds.name)
     if args.partitions <= 1:
         trainer = Trainer(ds, cfg)

@@ -20,6 +20,20 @@ that executes the same communication *semantics* deterministically:
 Every collective counts the bytes it would move on a real network, so the
 benchmark harness can report modelled communication time next to the
 algorithmic results.
+
+Execution backends
+------------------
+Two interchangeable backends implement the communicator surface (see
+``docs/ARCHITECTURE.md`` § "Execution backends"):
+
+- ``"sim"`` — the in-process lockstep :class:`World` above (deterministic,
+  models communication, measures nothing);
+- ``"shm"`` — :mod:`repro.comm.shm`: one OS process per rank over
+  ``multiprocessing.shared_memory`` mailboxes, for measured wall-clock
+  scaling with genuine DRPA overlap.
+
+:data:`BACKENDS` is the registry; trainers resolve a backend name through
+:func:`validate_backend` / :func:`create_world`.
 """
 
 from repro.comm.async_queue import DelayedQueue, Message
@@ -33,10 +47,38 @@ from repro.comm.collectives import (
 from repro.comm.communicator import Communicator, World
 from repro.comm.counters import CommCounters
 from repro.comm.netmodel import NetworkModel, HDR_200G
+from repro.comm.shm import ShmCommunicator, ShmWorld, ShmWorldView
+
+#: execution backend registry: name -> world factory ``(num_ranks, **kw)``.
+BACKENDS = {
+    "sim": World,
+    "shm": ShmWorld,
+}
+
+
+def validate_backend(name: str) -> str:
+    """Fail fast on an unknown backend name (trainer construction time)."""
+    if name not in BACKENDS:
+        raise KeyError(
+            f"unknown execution backend {name!r}; available: {sorted(BACKENDS)}"
+        )
+    return name
+
+
+def create_world(backend: str, num_ranks: int, **kwargs):
+    """Instantiate the world of the named backend."""
+    return BACKENDS[validate_backend(backend)](num_ranks, **kwargs)
+
 
 __all__ = [
     "World",
     "Communicator",
+    "ShmWorld",
+    "ShmCommunicator",
+    "ShmWorldView",
+    "BACKENDS",
+    "validate_backend",
+    "create_world",
     "all_reduce",
     "all_gather",
     "all_to_all",

@@ -12,6 +12,9 @@
 - :mod:`repro.core.dist_trainer` — lockstep data-parallel trainer driving
   one model replica per rank with per-layer DRPA synchronization and
   AllReduce parameter sync.
+- :mod:`repro.core.spmd` — the same per-rank computation as an SPMD
+  worker over the multi-process shared-memory backend
+  (``backend="shm"``), for measured wall-clock scaling.
 """
 
 from repro.core.algorithms import ALGORITHMS, AlgorithmSpec, get_algorithm

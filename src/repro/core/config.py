@@ -39,6 +39,15 @@ class TrainConfig:
     #: wire precision of DRPA aggregate payloads: "none" | "fp16" | "bf16"
     #: (the paper's future-work communication-volume optimization).
     compression: str = "none"
+    #: distributed execution backend: "sim" (in-process lockstep world,
+    #: deterministic, models communication) or "shm" (one OS process per
+    #: rank over shared-memory mailboxes, measures wall-clock scaling).
+    #: Both produce identical losses/parameters/counters — see
+    #: docs/ARCHITECTURE.md § "Execution backends".
+    backend: str = "sim"
+    #: shm backend only: barrier/mailbox wait timeout.  A deadlocked
+    #: exchange fails fast with an error instead of hanging the run.
+    shm_timeout_s: float = 120.0
 
     def for_dataset(self, dataset_name: str) -> "TrainConfig":
         """Apply the paper's per-dataset model shape (Section 6.1)."""

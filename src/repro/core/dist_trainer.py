@@ -30,6 +30,15 @@ backward APs dispatch through ``TrainConfig.kernel`` (default
 (0c / cd-0 / cd-r) runs the same array-native hot path as single-socket
 training.  The full dispatch chain and this segmented-autograd contract
 are documented in ``docs/ARCHITECTURE.md``.
+
+Execution backends
+------------------
+``backend="sim"`` (default) is the lockstep in-process loop below;
+``backend="shm"`` hands ``fit()`` to :mod:`repro.core.spmd`, which runs
+the identical per-rank computation as one OS process per partition over
+the :mod:`repro.comm.shm` shared-memory world — same losses, parameters
+and byte counters (pinned by the backend-equivalence tests), but with
+measured wall-clock parallelism and genuine cd-r overlap.
 """
 
 from __future__ import annotations
@@ -98,10 +107,16 @@ class DistributedTrainer:
         config: Optional[TrainConfig] = None,
         partitioner: str = "libra",
         parted: Optional[PartitionedGraph] = None,
+        backend: Optional[str] = None,
     ):
+        from repro.comm import validate_backend
+
         self.dataset = dataset
         self.config = config or TrainConfig().for_dataset(dataset.name)
         cfg = self.config
+        #: execution backend: "sim" (lockstep, this class's own loop) or
+        #: "shm" (SPMD worker processes, :mod:`repro.core.spmd`).
+        self.backend = validate_backend(backend or cfg.backend)
         self.spec = (
             algorithm
             if isinstance(algorithm, AlgorithmSpec)
@@ -218,6 +233,11 @@ class DistributedTrainer:
     # -- one training epoch ----------------------------------------------------------
 
     def train_epoch(self, epoch: int) -> EpochStats:
+        if self.backend != "sim":
+            raise RuntimeError(
+                "train_epoch drives the lockstep (sim) path; the "
+                f"{self.backend!r} backend trains whole runs via fit()"
+            )
         P = self.num_partitions
         cfg = self.config
         sw = self.stopwatch
@@ -349,6 +369,10 @@ class DistributedTrainer:
     ) -> DistTrainResult:
         cfg = self.config
         num_epochs = num_epochs if num_epochs is not None else cfg.num_epochs
+        if self.backend == "shm":
+            from repro.core.spmd import run_shm_fit
+
+            return run_shm_fit(self, num_epochs, verbose=verbose)
         result = DistTrainResult(
             algorithm=self.spec.display_name(),
             num_partitions=self.num_partitions,

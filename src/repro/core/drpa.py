@@ -221,6 +221,54 @@ class DRPAExchanger:
         for rank in range(p):
             self.apply_down(rank, all_values[rank], layer)
 
+    # -- per-rank SPMD rounds (shm backend) ----------------------------------------
+    #
+    # The lockstep rounds below drive *all* ranks from one process.  When
+    # each rank runs in its own process (the shm backend), a rank executes
+    # only its own side of the exchange; barriers replace the implicit
+    # phase ordering of the lockstep loop.  The resulting message sets and
+    # reduction orders are identical — the cross-backend equivalence tests
+    # pin this.
+
+    def rank_synchronous_round(
+        self, rank: int, values: np.ndarray, layer: int, epoch: int, barrier
+    ) -> None:
+        """One rank's side of :meth:`synchronous_round`.
+
+        ``barrier`` is a zero-arg callable blocking until all ranks
+        arrive; it stands in for the lockstep driver's phase boundaries
+        (all sends posted before any reduce; all root totals posted
+        before any leaf applies).
+        """
+        if self.delay != 0:
+            raise RuntimeError("synchronous_round requires delay=0 (cd-0 semantics)")
+        self.send_up(rank, values, layer, epoch)
+        barrier()
+        self.reduce_up(rank, values, layer)
+        self.send_down(rank, values, layer, epoch)
+        barrier()
+        self.apply_down(rank, values, layer)
+
+    def rank_delayed_round(
+        self, rank: int, values: np.ndarray, layer: int, epoch: int
+    ) -> None:
+        """One rank's side of :meth:`delayed_round` — no barriers needed.
+
+        With ``delay >= 1`` every message consumed at epoch ``e`` was
+        posted at ``e - delay`` or earlier, i.e. before a previous
+        epoch-boundary barrier, so the ripe sets match the lockstep
+        driver's without intra-round synchronization.  This is the
+        genuine communication/computation overlap of cd-r: the posts of
+        this epoch travel while every rank computes on.
+        """
+        if self.delay < 1:
+            raise RuntimeError("rank_delayed_round requires delay >= 1 (cd-r)")
+        self.send_up(rank, values, layer, epoch)
+        handled = self.reduce_up(rank, values, layer)
+        if handled:
+            self.send_down(rank, values, layer, epoch)
+        self.apply_down(rank, values, layer)
+
     # -- delayed round (cd-r) --------------------------------------------------------
 
     def delayed_round(

@@ -198,6 +198,19 @@ def _cached_reverse(graph: CSRGraph) -> CSRGraph:
     return rev
 
 
+def _cached_dst_map(graph: CSRGraph) -> np.ndarray:
+    """Per-edge destination ids in CSR order, cached on the graph.
+
+    ``edge_softmax`` backward needs this map every call of every epoch;
+    like :func:`_cached_reverse` it is built once per graph instance.
+    """
+    dst = getattr(graph, "_csr_dst_map", None)
+    if dst is None:
+        dst = np.repeat(np.arange(graph.num_vertices), np.diff(graph.indptr))
+        object.__setattr__(graph, "_csr_dst_map", dst)
+    return dst
+
+
 def leaky_relu(a: Tensor, slope: float = 0.2) -> Tensor:
     mask = a.data > 0
     out = np.where(mask, a.data, slope * a.data)
@@ -236,19 +249,20 @@ def edge_softmax(graph: CSRGraph, logits: Tensor) -> Tensor:
     from repro.kernels.sddmm import edge_softmax_vectorized
 
     soft = edge_softmax_vectorized(graph, logits.data)
-    indptr, eids = graph.indptr, graph.edge_ids
+    eids = graph.edge_ids
+    dtype = logits.dtype
 
     def backward(g):
-        # d logits = s * (g - sum_per_segment(g * s))
+        # d logits = s * (g - sum_per_segment(g * s)), computed in the
+        # input dtype over the cached per-edge destination map (rebuilt
+        # scratch here used to dominate the backward's allocation cost).
+        dst = _cached_dst_map(graph)
         gs = g * soft
-        seg = np.zeros((graph.num_vertices, 1), dtype=np.float64)
-        dst = np.repeat(
-            np.arange(graph.num_vertices), np.diff(indptr)
-        )
-        np.add.at(seg[:, 0], dst, gs[eids, 0])
-        per_edge = np.empty_like(g, dtype=np.float64)
-        per_edge[eids, 0] = seg[dst, 0]
-        return ((soft * (g - per_edge)).astype(logits.dtype),)
+        seg = np.zeros(graph.num_vertices, dtype=dtype)
+        np.add.at(seg, dst, gs[eids, 0])
+        per_edge = np.empty_like(g)
+        per_edge[eids, 0] = seg[dst]
+        return ((soft * (g - per_edge)).astype(dtype, copy=False),)
 
     return _make(soft, (logits,), backward, "edge_softmax")
 

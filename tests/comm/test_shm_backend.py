@@ -1,0 +1,375 @@
+"""The multi-process shared-memory backend.
+
+Covers the ``Communicator`` surface parity with the simulator (p2p with
+epoch-delayed delivery, deterministic drain order, collectives and their
+byte accounting), the shared-memory payload transport, and the failure
+model (deadlocks fail fast, worker exceptions propagate).
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    BACKENDS,
+    ShmWorld,
+    World,
+    all_reduce,
+    all_to_all,
+    create_world,
+    validate_backend,
+)
+from repro.comm.shm import SHM_PAYLOAD_THRESHOLD, ShmWorldView
+
+TIMEOUT = 30.0
+
+
+# -- registry -----------------------------------------------------------------
+
+
+def test_backend_registry():
+    assert set(BACKENDS) == {"sim", "shm"}
+    assert validate_backend("sim") == "sim"
+    with pytest.raises(KeyError, match="unknown execution backend"):
+        validate_backend("mpi")
+    assert isinstance(create_world("sim", 2), World)
+    assert isinstance(create_world("shm", 2, timeout=TIMEOUT), ShmWorld)
+
+
+def test_world_validation():
+    with pytest.raises(ValueError):
+        ShmWorld(0)
+    with pytest.raises(ValueError):
+        ShmWorld(2, timeout=0)
+    with pytest.raises(ValueError):
+        ShmWorld(2, timeout=TIMEOUT).communicator(5)
+
+
+# -- point-to-point ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("num_ranks", [2, 4])
+def test_p2p_roundtrip_with_delay(num_ranks):
+    def worker(comm):
+        peer = (comm.rank + 1) % comm.size
+        comm.isend(peer, np.full((3,), comm.rank, dtype=np.float32), tag="t", delay=1)
+        comm.barrier()
+        early = len(comm.recv_ready(tag="t"))
+        pending = comm.pending_count(tag="t")
+        comm.advance_epoch()
+        msgs = comm.recv_ready(tag="t")
+        return {
+            "early": early,
+            "pending": pending,
+            "srcs": [m.src for m in msgs],
+            "vals": [float(m.payload[0]) for m in msgs],
+            "epochs": [(m.post_epoch, m.deliver_epoch) for m in msgs],
+        }
+
+    world = ShmWorld(num_ranks, timeout=TIMEOUT)
+    results = world.run(worker)
+    for rank, res in enumerate(results):
+        src = (rank - 1) % num_ranks
+        assert res["early"] == 0, "delay=1 message must be invisible at epoch 0"
+        assert res["pending"] == 1
+        assert res["srcs"] == [src]
+        assert res["vals"] == [float(src)]
+        assert res["epochs"] == [(0, 1)]
+    assert world.in_flight_bytes() == 0
+
+
+def test_tag_filtering_keeps_unmatched_messages():
+    def worker(comm):
+        peer = (comm.rank + 1) % comm.size
+        comm.isend(peer, np.zeros(1), tag="a")
+        comm.isend(peer, np.ones(1), tag="b")
+        comm.barrier()
+        got_a = [m.tag for m in comm.recv_ready(tag="a")]
+        got_b = [m.tag for m in comm.recv_ready(tag="b")]
+        leftover = comm.recv_ready()
+        return got_a, got_b, len(leftover)
+
+    for got_a, got_b, leftover in ShmWorld(2, timeout=TIMEOUT).run(worker):
+        assert got_a == ["a"] and got_b == ["b"] and leftover == 0
+
+
+def test_recv_order_matches_lockstep_fifo():
+    """Ripe messages drain ordered by (post_epoch, src, send order), the
+    order the lockstep simulator's FIFO mailboxes produce — regardless
+    of multi-process arrival order."""
+
+    def worker(comm):
+        if comm.rank == 0:
+            comm.barrier()
+            comm.advance_epoch()
+            comm.barrier()
+            comm.advance_epoch()
+            comm.barrier()
+            msgs = comm.recv_ready(tag="m")
+            return [(m.post_epoch, m.src, float(m.payload[0])) for m in msgs]
+        # each sender posts two messages per epoch, for two epochs
+        for epoch in range(2):
+            for k in range(2):
+                comm.isend(0, np.full((1,), 10 * epoch + k), tag="m")
+            comm.barrier()
+            comm.advance_epoch()
+        comm.barrier()
+        return None
+
+    results = ShmWorld(3, timeout=TIMEOUT).run(worker)
+    expected = [
+        (epoch, src, float(10 * epoch + k))
+        for epoch in range(2)
+        for src in (1, 2)
+        for k in range(2)
+    ]
+    assert results[0] == expected
+
+
+def test_large_payload_rides_shared_memory():
+    shape = (SHM_PAYLOAD_THRESHOLD // 4, 2)  # well above the threshold
+
+    def worker(comm):
+        rng = np.random.default_rng(comm.rank)
+        data = rng.standard_normal(shape).astype(np.float32)
+        comm.isend(1 - comm.rank, data, tag="big")
+        comm.barrier()
+        (msg,) = comm.recv_ready(tag="big")
+        expected = np.random.default_rng(msg.src).standard_normal(shape).astype(
+            np.float32
+        )
+        return bool(np.array_equal(msg.payload, expected))
+
+    assert ShmWorld(2, timeout=TIMEOUT).run(worker) == [True, True]
+
+
+def test_payload_snapshot_at_post_time():
+    """Mutating the send buffer after isend must not corrupt the wire."""
+
+    def worker(comm):
+        buf = np.full((4,), float(comm.rank))
+        comm.isend(1 - comm.rank, buf, tag="s")
+        buf[:] = -1.0
+        comm.barrier()
+        (msg,) = comm.recv_ready(tag="s")
+        return float(msg.payload[0])
+
+    assert ShmWorld(2, timeout=TIMEOUT).run(worker) == [1.0, 0.0]
+
+
+# -- collectives ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("num_ranks", [2, 4])
+@pytest.mark.parametrize("op", ["sum", "mean", "max", "min"])
+def test_allreduce_matches_sim(num_ranks, op):
+    rng = np.random.default_rng(0)
+    inputs = [rng.standard_normal((5, 3)).astype(np.float32) for _ in range(num_ranks)]
+
+    def worker(comm):
+        return comm.all_reduce(inputs[comm.rank], op=op)
+
+    shm_world = ShmWorld(num_ranks, timeout=TIMEOUT)
+    shm_out = shm_world.run(worker)
+    sim_world = World(num_ranks)
+    sim_out = all_reduce(sim_world, inputs, op=op)
+    for a, b in zip(shm_out, sim_out):
+        np.testing.assert_array_equal(a, b)  # bit-identical reduction
+    shm_c, sim_c = shm_world.counters, sim_world.counters
+    assert shm_c.bytes_sent == sim_c.bytes_sent
+    assert shm_c.bytes_received == sim_c.bytes_received
+    assert shm_c.collective_calls == sim_c.collective_calls
+
+
+@pytest.mark.parametrize("num_ranks", [2, 4])
+def test_alltoallv_matches_sim(num_ranks):
+    rng = np.random.default_rng(1)
+    send = [
+        [rng.standard_normal((i + j + 1,)) for j in range(num_ranks)]
+        for i in range(num_ranks)
+    ]
+
+    def worker(comm):
+        return comm.all_to_allv(send[comm.rank])
+
+    shm_world = ShmWorld(num_ranks, timeout=TIMEOUT)
+    shm_out = shm_world.run(worker)
+    sim_world = World(num_ranks)
+    sim_out = all_to_all(sim_world, send)
+    for rank in range(num_ranks):
+        for src in range(num_ranks):
+            np.testing.assert_array_equal(shm_out[rank][src], sim_out[rank][src])
+    shm_c, sim_c = shm_world.counters, sim_world.counters
+    assert shm_c.bytes_sent == sim_c.bytes_sent
+    assert shm_c.bytes_received == sim_c.bytes_received
+    assert shm_c.collective_calls == sim_c.collective_calls
+
+
+def test_broadcast():
+    payload = np.arange(6, dtype=np.float64).reshape(2, 3)
+
+    def worker(comm):
+        return comm.broadcast(payload if comm.rank == 1 else None, root=1)
+
+    world = ShmWorld(3, timeout=TIMEOUT)
+    for out in world.run(worker):
+        np.testing.assert_array_equal(out, payload)
+    c = world.counters
+    assert c.bytes_sent[1] == payload.nbytes * 2
+    assert c.bytes_received == [payload.nbytes, 0, payload.nbytes]
+    assert c.collective_calls == {"broadcast": 1}
+
+
+def test_interleaved_collectives_and_p2p():
+    """Back-to-back collectives of different kinds must not cross-talk
+    even when ranks race ahead (the sequence-number rendezvous)."""
+
+    def worker(comm):
+        out = []
+        for i in range(5):
+            comm.isend(1 - comm.rank, np.full((2,), float(i)), tag=("p", i))
+            total = comm.all_reduce(np.full((2,), float(comm.rank + i)))
+            recv = comm.all_to_allv(
+                [np.full((1,), float(10 * comm.rank + q)) for q in range(comm.size)]
+            )
+            out.append((float(total[0]), [float(r[0]) for r in recv]))
+        comm.barrier()
+        got = [len(comm.recv_ready(tag=("p", i))) for i in range(5)]
+        return out, got
+
+    results = ShmWorld(2, timeout=TIMEOUT).run(worker)
+    for rank, (out, got) in enumerate(results):
+        for i, (total, recv) in enumerate(out):
+            assert total == float((0 + i) + (1 + i))
+            assert recv == [float(10 * q + rank) for q in range(2)]
+        assert got == [1] * 5
+
+
+# -- world view (DRPA integration) --------------------------------------------
+
+
+def test_world_view_guards_foreign_ranks():
+    def worker(comm):
+        view = ShmWorldView(comm)
+        comms = view.communicators()
+        own_ok = comms[comm.rank] is comm
+        try:
+            comms[1 - comm.rank].isend(0, np.zeros(1))
+            foreign_raises = False
+        except RuntimeError:
+            foreign_raises = True
+        return own_ok, foreign_raises, view.num_ranks, view.epoch
+
+    assert ShmWorld(2, timeout=TIMEOUT).run(worker) == [
+        (True, True, 2, 0),
+        (True, True, 2, 0),
+    ]
+
+
+# -- failure model -------------------------------------------------------------
+
+
+def test_worker_exception_propagates():
+    def worker(comm):
+        if comm.rank == 1:
+            raise ValueError("boom in worker")
+        return comm.rank
+
+    with pytest.raises(RuntimeError, match="boom in worker"):
+        ShmWorld(2, timeout=TIMEOUT).run(worker)
+
+
+def test_timeout_bounds_waits_not_total_runtime():
+    """The world timeout caps individual blocking waits, not the whole
+    run: a healthy fit longer than the timeout must complete."""
+    import time
+
+    def worker(comm):
+        for _ in range(4):
+            comm.barrier()
+            time.sleep(0.4)
+        return comm.rank
+
+    assert ShmWorld(2, timeout=1.0).run(worker) == [0, 1]
+
+
+def test_hard_killed_worker_detected():
+    """A worker that dies without reporting (SIGKILL/OOM) fails the run
+    with a diagnosis instead of hanging the parent."""
+    import os
+    import signal
+
+    def worker(comm):
+        if comm.rank == 1:
+            os.kill(os.getpid(), signal.SIGKILL)
+        comm.barrier()
+        return comm.rank
+
+    with pytest.raises(RuntimeError, match="died without reporting"):
+        ShmWorld(2, timeout=3.0).run(worker)
+
+
+def test_barrier_deadlock_fails_fast():
+    """A rank skipping a barrier must fail the run within the timeout
+    instead of hanging the suite (the CI contract for shm jobs)."""
+
+    def worker(comm):
+        if comm.rank == 0:
+            comm.barrier()  # rank 1 never arrives
+        return comm.rank
+
+    with pytest.raises(RuntimeError):
+        ShmWorld(2, timeout=2.0).run(worker)
+
+
+# -- counter parity on a scripted exchange -------------------------------------
+
+
+def _exchange_script(num_ranks):
+    """A deterministic mixed script: p2p at several delays + collectives."""
+    rng = np.random.default_rng(42)
+    sends = []
+    for epoch in range(3):
+        for src in range(num_ranks):
+            for dst in range(num_ranks):
+                if src == dst:
+                    continue
+                size = int(rng.integers(1, 50))
+                delay = int(rng.integers(0, 3))
+                sends.append((epoch, src, dst, size, delay))
+    return sends
+
+
+@pytest.mark.parametrize("num_ranks", [2, 4])
+def test_scripted_exchange_counters_match_sim(num_ranks):
+    sends = _exchange_script(num_ranks)
+
+    def worker(comm):
+        for epoch in range(3):
+            for e, src, dst, size, delay in sends:
+                if e == epoch and src == comm.rank:
+                    comm.isend(dst, np.zeros(size, dtype=np.float32), delay=delay)
+            comm.all_reduce(np.ones((4, 2), dtype=np.float32))
+            comm.barrier()
+            comm.recv_ready()
+            comm.advance_epoch()
+        return None
+
+    shm_world = ShmWorld(num_ranks, timeout=TIMEOUT)
+    shm_world.run(worker)
+
+    sim_world = World(num_ranks)
+    comms = sim_world.communicators()
+    for epoch in range(3):
+        for e, src, dst, size, delay in sends:
+            if e == epoch:
+                comms[src].isend(dst, np.zeros(size, dtype=np.float32), delay=delay)
+        all_reduce(sim_world, [np.ones((4, 2), dtype=np.float32)] * num_ranks)
+        for rank in range(num_ranks):
+            comms[rank].recv_ready()
+        sim_world.advance_epoch()
+
+    shm_c, sim_c = shm_world.counters, sim_world.counters
+    assert shm_c.bytes_sent == sim_c.bytes_sent
+    assert shm_c.bytes_received == sim_c.bytes_received
+    assert shm_c.messages_sent == sim_c.messages_sent
+    assert shm_c.collective_calls == sim_c.collective_calls

@@ -35,6 +35,34 @@ class TestSddmm:
             out[eid[0]], fn(f_src[src[0]], f_dst[dst[0]]), rtol=1e-12
         )
 
+    def test_dot_chunked_is_byte_identical(self, small_rmat, feats):
+        """The chunked dot (bounded scratch) must match one full pass
+        bit for bit, for chunk sizes straddling the edge count."""
+        f_src, f_dst = feats
+        full = sddmm(small_rmat, f_src, f_dst, op="dot", chunk_edges=None)
+        for chunk in (1, 7, 1024, small_rmat.num_edges, 10 * small_rmat.num_edges):
+            chunked = sddmm(small_rmat, f_src, f_dst, op="dot", chunk_edges=chunk)
+            np.testing.assert_array_equal(chunked, full)
+
+    def test_dot_zero_edge_graph(self):
+        from repro.graph.builders import from_edge_list
+
+        g = from_edge_list([], num_vertices=3)
+        f = np.ones((3, 4))
+        for chunk in (None, 16):
+            assert sddmm(g, f, op="dot", chunk_edges=chunk).shape == (0, 1)
+
+    def test_dot_chunked_float32_dtype(self, small_rmat, feats):
+        f_src, f_dst = feats
+        out = sddmm(
+            small_rmat,
+            f_src.astype(np.float32),
+            f_dst.astype(np.float32),
+            op="dot",
+            chunk_edges=11,
+        )
+        assert out.dtype == np.float32
+
     def test_default_dst_is_src(self, small_rmat, feats):
         f_src, _ = feats
         a = sddmm(small_rmat, f_src, None, op="dot")
