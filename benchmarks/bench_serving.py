@@ -1,0 +1,219 @@
+"""Serving throughput/latency baseline -> ``BENCH_serving.json``.
+
+The repo's second perf-trajectory file (next to ``BENCH_kernels.json``):
+measures the online request path of :mod:`repro.serving` — requests per
+second and p50/p99 latency — across request batch sizes and cache
+configurations, over a Zipf-skewed request stream (heavy-traffic
+workloads hit a hot vertex set, which is what makes the LRU result
+cache pay).
+
+Three request modes per (batch size, cache) cell:
+
+- ``direct``   synchronous ``PredictionService.predict_logits`` calls —
+  the floor: one table gather per request.
+- ``batched``  4 client threads submitting through the micro-batcher —
+  measures the coalescing path including its queueing latency tax.
+
+Usage::
+
+    python benchmarks/bench_serving.py            # full baseline
+    python benchmarks/bench_serving.py --smoke    # CI schema check
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from bench_utils import emit, emit_json, table  # noqa: E402
+
+from repro.core import TrainConfig, Trainer, save_checkpoint  # noqa: E402
+from repro.core.checkpoint import training_meta  # noqa: E402
+from repro.graph.datasets import load_dataset  # noqa: E402
+from repro.serving import (  # noqa: E402
+    InferenceEngine,
+    PredictionService,
+    ResultCache,
+)
+
+SCHEMA_VERSION = 1
+
+
+def _zipf_stream(rng, num_vertices: int, size: int, skew: float = 1.1) -> np.ndarray:
+    """Zipf-distributed vertex ids over a random hot-set permutation."""
+    ranks = rng.zipf(skew, size=size) - 1
+    perm = rng.permutation(num_vertices)
+    return perm[np.minimum(ranks, num_vertices - 1)]
+
+
+def _percentiles_ms(latencies_s) -> dict:
+    lat = np.asarray(latencies_s) * 1e3
+    return {
+        "p50_ms": float(np.percentile(lat, 50)),
+        "p99_ms": float(np.percentile(lat, 99)),
+    }
+
+
+def _run_direct(service, stream, batch_size: int) -> dict:
+    latencies = []
+    t0 = time.perf_counter()
+    for lo in range(0, stream.size, batch_size):
+        ids = stream[lo : lo + batch_size]
+        t1 = time.perf_counter()
+        service.predict_logits(ids)
+        latencies.append(time.perf_counter() - t1)
+    total = time.perf_counter() - t0
+    return {
+        "requests": len(latencies),
+        "total_s": total,
+        "reqs_per_s": len(latencies) / total,
+        "vertices_per_s": stream.size / total,
+        **_percentiles_ms(latencies),
+    }
+
+
+def _run_batched(service, stream, batch_size: int, num_clients: int = 4) -> dict:
+    """Concurrent clients; each request's latency includes queueing."""
+    shards = [stream[c::num_clients] for c in range(num_clients)]
+    latencies = [[] for _ in range(num_clients)]
+
+    def client(c: int) -> None:
+        shard = shards[c]
+        for lo in range(0, shard.size, batch_size):
+            ids = shard[lo : lo + batch_size]
+            t1 = time.perf_counter()
+            service.predict_logits(ids)
+            latencies[c].append(time.perf_counter() - t1)
+
+    threads = [threading.Thread(target=client, args=(c,)) for c in range(num_clients)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    total = time.perf_counter() - t0
+    flat = [l for sub in latencies for l in sub]
+    return {
+        "requests": len(flat),
+        "total_s": total,
+        "reqs_per_s": len(flat) / total,
+        "vertices_per_s": stream.size / total,
+        **_percentiles_ms(flat),
+    }
+
+
+def _make_engine(args):
+    """Train briefly, round-trip through a real checkpoint, precompute."""
+    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    cfg = TrainConfig(
+        num_layers=2, hidden_features=16, eval_every=0, seed=args.seed
+    )
+    trainer = Trainer(ds, cfg)
+    trainer.fit(num_epochs=args.train_epochs)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bench.npz")
+        save_checkpoint(
+            path, trainer.model, trainer.optimizer,
+            epoch=args.train_epochs, extra=training_meta(cfg),
+        )
+        engine = InferenceEngine.from_checkpoint(path, ds)
+    t0 = time.perf_counter()
+    engine.precompute()
+    return ds, engine, time.perf_counter() - t0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--dataset", default="ogbn-products")
+    ap.add_argument("--scale", type=float, default=0.1)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--train-epochs", type=int, default=3)
+    ap.add_argument("--requests", type=int, default=2000,
+                    help="request-stream length in vertices per config")
+    ap.add_argument("--cache-size", type=int, default=2048)
+    ap.add_argument("--batch-sizes", type=int, nargs="+", default=[1, 16, 128])
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny run for CI schema validation")
+    args = ap.parse_args(argv)
+    if args.smoke:
+        args.scale = min(args.scale, 0.05)
+        args.requests = 200
+        args.batch_sizes = [1, 16]
+        args.train_epochs = 1
+
+    ds, engine, precompute_s = _make_engine(args)
+    rng = np.random.default_rng(args.seed + 7)
+
+    rows = []
+    for batch_size in args.batch_sizes:
+        stream_len = max(args.requests * batch_size, batch_size)
+        stream = _zipf_stream(rng, ds.num_vertices, stream_len)
+        for cache_on in (False, True):
+            cache = ResultCache(args.cache_size) if cache_on else None
+            with PredictionService(engine, cache=cache) as svc:
+                measured = _run_direct(svc, stream, batch_size)
+                hit_rate = cache.hit_rate if cache is not None else 0.0
+                rows.append({
+                    "mode": "direct",
+                    "batch_size": batch_size,
+                    "cache": "on" if cache_on else "off",
+                    "cache_hit_rate": float(hit_rate),
+                    **measured,
+                })
+            cache = ResultCache(args.cache_size) if cache_on else None
+            with PredictionService(
+                engine, cache=cache, batch=True,
+                max_batch=max(64, batch_size), max_wait_ms=0.5,
+            ) as svc:
+                measured = _run_batched(svc, stream, batch_size)
+                hit_rate = cache.hit_rate if cache is not None else 0.0
+                rows.append({
+                    "mode": "batched",
+                    "batch_size": batch_size,
+                    "cache": "on" if cache_on else "off",
+                    "cache_hit_rate": float(hit_rate),
+                    **measured,
+                })
+
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "dataset": ds.name,
+        "scale": args.scale,
+        "num_vertices": ds.num_vertices,
+        "num_edges": ds.num_edges,
+        "cache_size": args.cache_size,
+        "precompute_s": precompute_s,
+        "smoke": bool(args.smoke),
+        "results": rows,
+    }
+    path = emit_json("serving", payload)
+    emit(
+        "serving_table",
+        table(
+            ["mode", "batch", "cache", "req/s", "p50 ms", "p99 ms", "hit%"],
+            [
+                [
+                    r["mode"], r["batch_size"], r["cache"],
+                    f"{r['reqs_per_s']:.0f}", f"{r['p50_ms']:.3f}",
+                    f"{r['p99_ms']:.3f}", f"{100 * r['cache_hit_rate']:.0f}",
+                ]
+                for r in rows
+            ],
+        ),
+    )
+    print(f"\nprecompute: {precompute_s:.3f}s for {ds.num_vertices} vertices")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

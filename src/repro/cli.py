@@ -5,8 +5,12 @@ Commands
 ``info``       dataset stand-in statistics (Table 2 style).
 ``partition``  run Libra (or a baseline) and report partition quality.
 ``train``      full-batch training, single-socket or distributed with any
-               DRPA algorithm.
+               DRPA algorithm; ``--checkpoint`` saves restartable state,
+               ``--resume`` continues from it.
 ``sample``     mini-batch (Dist-DGL style) training.
+``predict``    one-shot predictions from a checkpoint.
+``serve``      HTTP prediction service (precompute + micro-batched
+               lookups + LRU result cache) over a checkpoint.
 """
 
 from __future__ import annotations
@@ -51,6 +55,11 @@ def build_parser() -> argparse.ArgumentParser:
         "or one OS process per rank over shared memory (partitions > 1)",
     )
     p_train.add_argument("--checkpoint", default=None, help="save final state here")
+    p_train.add_argument(
+        "--resume", default=None, metavar="CKPT",
+        help="resume single-socket training from a checkpoint; --epochs "
+        "is the total budget, so an epoch-k checkpoint runs epochs k..N",
+    )
 
     p_sample = sub.add_parser("sample", help="mini-batch training")
     _dataset_args(p_sample)
@@ -60,6 +69,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_sample.add_argument(
         "--fanouts", type=int, nargs="+", default=None,
         help="one fanout per layer (default: 10 per layer)",
+    )
+
+    p_pred = sub.add_parser("predict", help="one-shot checkpoint predictions")
+    _dataset_args(p_pred)
+    p_pred.add_argument("--checkpoint", required=True)
+    p_pred.add_argument(
+        "--vertices", required=True,
+        help="comma-separated vertex ids, e.g. 0,17,42",
+    )
+    p_pred.add_argument("--k", type=int, default=3, help="top-k classes to print")
+
+    p_serve = sub.add_parser("serve", help="HTTP prediction service")
+    _dataset_args(p_serve)
+    p_serve.add_argument("--checkpoint", required=True)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="LRU result-cache capacity in vertices (0 disables)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=256,
+        help="micro-batcher coalescing limit in vertices (0 disables batching)",
+    )
+    p_serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="micro-batcher window: how long the first request of a "
+        "batch is held open for followers",
     )
     return parser
 
@@ -120,7 +157,7 @@ def cmd_partition(args) -> int:
 
 def cmd_train(args) -> int:
     from repro.core import DistributedTrainer, TrainConfig, Trainer
-    from repro.core.checkpoint import save_checkpoint
+    from repro.core.checkpoint import load_checkpoint, save_checkpoint, training_meta
 
     ds = _load(args)
     cfg = TrainConfig(
@@ -132,9 +169,21 @@ def cmd_train(args) -> int:
     ).for_dataset(ds.name)
     if args.partitions <= 1:
         trainer = Trainer(ds, cfg)
-        result = trainer.fit(num_epochs=args.epochs, verbose=True)
+        start_epoch = 0
+        if args.resume:
+            start_epoch, _ = load_checkpoint(
+                args.resume, trainer.model, trainer.optimizer
+            )
+            print(f"resumed from epoch {start_epoch} ({args.resume})")
+        result = trainer.fit(
+            num_epochs=args.epochs, verbose=True, start_epoch=start_epoch
+        )
         model, opt = trainer.model, trainer.optimizer
     else:
+        if args.resume:
+            print("error: --resume supports single-socket training only "
+                  "(--partitions 1)", file=sys.stderr)
+            return 2
         trainer = DistributedTrainer(
             ds, args.partitions, algorithm=args.algorithm, config=cfg
         )
@@ -144,7 +193,9 @@ def cmd_train(args) -> int:
         print(f"total comm         : {result.total_comm_bytes / 1e6:.1f} MB")
     print(f"final test accuracy: {result.final_test_acc:.4f}")
     if args.checkpoint:
-        save_checkpoint(args.checkpoint, model, opt, epoch=args.epochs)
+        save_checkpoint(
+            args.checkpoint, model, opt, epoch=args.epochs, extra=training_meta(cfg)
+        )
         print(f"checkpoint written : {args.checkpoint}")
     return 0
 
@@ -167,11 +218,60 @@ def cmd_sample(args) -> int:
     return 0
 
 
+def cmd_predict(args) -> int:
+    from repro.serving import InferenceEngine
+
+    ds = _load(args)
+    try:
+        vertices = [int(v) for v in args.vertices.replace(",", " ").split()]
+    except ValueError:
+        print(f"error: bad --vertices {args.vertices!r}", file=sys.stderr)
+        return 2
+    engine = InferenceEngine.from_checkpoint(args.checkpoint, ds)
+    engine.precompute()
+    classes, scores = engine.topk(vertices, k=args.k)
+    labels = engine.predict_labels(vertices)
+    for v, label, crow, srow in zip(vertices, labels, classes, scores):
+        ranked = "  ".join(f"{c}:{s:.3f}" for c, s in zip(crow, srow))
+        print(f"vertex {v:>8d}  label {label:>4d}  top{args.k} {ranked}")
+    return 0
+
+
+def cmd_serve(args) -> int:  # pragma: no cover - interactive loop
+    from repro.serving import InferenceEngine, PredictionServer, PredictionService, ResultCache
+
+    ds = _load(args)
+    engine = InferenceEngine.from_checkpoint(args.checkpoint, ds)
+    engine.precompute()
+    service = PredictionService(
+        engine,
+        cache=ResultCache(args.cache_size) if args.cache_size > 0 else None,
+        batch=args.max_batch > 0,
+        max_batch=max(args.max_batch, 1),
+        max_wait_ms=args.max_wait_ms,
+    )
+    server = PredictionServer(service, host=args.host, port=args.port, verbose=True)
+    host, port = server.address
+    print(f"serving {ds.name} ({engine.model_kind}, {engine.num_vertices} vertices)")
+    print(f"  POST http://{host}:{port}/predict   "
+          '{"vertices": [0, 1], "k": 3}')
+    print(f"  GET  http://{host}:{port}/stats")
+    print(f"  GET  http://{host}:{port}/healthz")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+        server.shutdown()
+    return 0
+
+
 COMMANDS = {
     "info": cmd_info,
     "partition": cmd_partition,
     "train": cmd_train,
     "sample": cmd_sample,
+    "predict": cmd_predict,
+    "serve": cmd_serve,
 }
 
 

@@ -15,9 +15,13 @@
 - :mod:`repro.core.spmd` — the same per-rank computation as an SPMD
   worker over the multi-process shared-memory backend
   (``backend="shm"``), for measured wall-clock scaling.
+- :mod:`repro.core.checkpoint` — self-describing ``.npz`` checkpoints
+  (weights, optimizer slots, epoch cursor, architecture metadata) used
+  by ``repro train --resume`` and the serving tier.
 """
 
 from repro.core.algorithms import ALGORITHMS, AlgorithmSpec, get_algorithm
+from repro.core.checkpoint import load_checkpoint, peek_checkpoint, save_checkpoint
 from repro.core.config import TrainConfig
 from repro.core.dist_trainer import DistributedTrainer, DistTrainResult
 from repro.core.metrics import EpochStats, TrainResult
@@ -33,4 +37,7 @@ __all__ = [
     "AlgorithmSpec",
     "ALGORITHMS",
     "get_algorithm",
+    "save_checkpoint",
+    "load_checkpoint",
+    "peek_checkpoint",
 ]

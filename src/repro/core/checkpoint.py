@@ -74,6 +74,53 @@ def load_checkpoint(
         return int(data["epoch"]), extra
 
 
+def peek_checkpoint(path: str) -> Tuple[int, Dict[str, np.ndarray]]:
+    """Read ``(epoch, extra_arrays)`` without needing a model instance.
+
+    The serving tier uses this to recover the architecture metadata
+    (:func:`training_meta`) embedded by ``repro train --checkpoint``
+    *before* it can build the model that :func:`load_checkpoint` fills.
+    """
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    with np.load(path) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {version}")
+        extra = {
+            k[len("extra/") :]: data[k]
+            for k in data.files
+            if k.startswith("extra/")
+        }
+        return int(data["epoch"]), extra
+
+
+#: ``extra`` keys that describe the model architecture.
+_META_KEYS = ("model", "num_layers", "hidden_features", "kernel")
+
+
+def training_meta(config) -> Dict[str, np.ndarray]:
+    """Architecture metadata to embed as checkpoint ``extra`` so a
+    checkpoint is self-describing (``InferenceEngine.from_checkpoint``
+    and ``repro predict`` rebuild the model without the TrainConfig)."""
+    return {key: np.asarray(getattr(config, key)) for key in _META_KEYS}
+
+
+def config_from_meta(extra: Dict[str, np.ndarray], base):
+    """Overlay checkpoint architecture metadata onto a base TrainConfig.
+
+    Keys absent from ``extra`` (older checkpoints, hand-written ones)
+    keep the base config's values.
+    """
+    from repro.core.config import TrainConfig
+
+    cfg = TrainConfig(**vars(base))
+    for key in _META_KEYS:
+        if key in extra:
+            setattr(cfg, key, type(getattr(cfg, key))(extra[key].item()))
+    return cfg
+
+
 def _optimizer_state(opt: Optimizer) -> Dict[str, np.ndarray]:
     """Serialize optimizer slots positionally (parameter order is the
     module-traversal order, which is deterministic)."""

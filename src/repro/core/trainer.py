@@ -89,12 +89,25 @@ class Trainer:
             "test": accuracy(logits.data, ds.labels, ds.test_mask),
         }
 
-    def fit(self, num_epochs: Optional[int] = None, verbose: bool = False) -> TrainResult:
+    def fit(
+        self,
+        num_epochs: Optional[int] = None,
+        verbose: bool = False,
+        start_epoch: int = 0,
+    ) -> TrainResult:
+        """Train epochs ``start_epoch .. num_epochs``.
+
+        ``start_epoch`` is the resume cursor: after ``load_checkpoint``
+        restored weights and optimizer slots from an epoch-``k``
+        checkpoint, ``fit(num_epochs=N, start_epoch=k)`` runs the
+        remaining ``N - k`` epochs and is bit-identical to an
+        uninterrupted ``fit(N)`` (pinned by tests/core/test_checkpoint).
+        """
         cfg = self.config
         num_epochs = num_epochs if num_epochs is not None else cfg.num_epochs
         result = TrainResult()
         best_val = -1.0
-        for epoch in range(num_epochs):
+        for epoch in range(start_epoch, num_epochs):
             stats = self.train_epoch(epoch)
             if cfg.eval_every and (
                 epoch % cfg.eval_every == 0 or epoch == num_epochs - 1

@@ -27,8 +27,6 @@ from repro.core.metrics import EpochStats, TrainResult
 from repro.graph.csr import INDEX_DTYPE
 from repro.graph.datasets import Dataset
 from repro.nn import Adam, GraphSAGE, SGD, Tensor, accuracy, masked_cross_entropy
-from repro.nn.sage import gcn_norm_tensor
-from repro.nn.tensor import no_grad
 from repro.sampling.sampler import NeighborSampler
 
 
@@ -163,16 +161,14 @@ class DistMiniBatchTrainer:
             opt.step()
 
     def evaluate(self) -> dict:
+        from repro.serving.engine import full_graph_forward
+
         ds = self.dataset
-        model = self.models[0]
-        model.eval()
-        with no_grad():
-            logits = model(ds.graph, Tensor(ds.features), gcn_norm_tensor(ds.graph))
-        model.train()
+        logits = full_graph_forward(self.models[0], ds.graph, ds.features)
         return {
-            "train": accuracy(logits.data, ds.labels, ds.train_mask),
-            "val": accuracy(logits.data, ds.labels, ds.val_mask),
-            "test": accuracy(logits.data, ds.labels, ds.test_mask),
+            "train": accuracy(logits, ds.labels, ds.train_mask),
+            "val": accuracy(logits, ds.labels, ds.val_mask),
+            "test": accuracy(logits, ds.labels, ds.test_mask),
         }
 
     def fit(self, num_epochs: int, verbose: bool = False) -> TrainResult:

@@ -24,8 +24,6 @@ from repro.core.config import TrainConfig
 from repro.core.metrics import EpochStats, TrainResult
 from repro.graph.datasets import Dataset
 from repro.nn import Adam, GraphSAGE, SGD, Tensor, accuracy, masked_cross_entropy
-from repro.nn.sage import gcn_norm_tensor
-from repro.nn.tensor import no_grad
 from repro.sampling.sampler import NeighborSampler, SampledBatch
 
 
@@ -119,16 +117,16 @@ class MiniBatchTrainer:
         )
 
     def evaluate(self) -> dict:
-        """Full-graph inference with the trained weights."""
+        """Full-graph inference with the trained weights (the single
+        inference path shared with the serving tier)."""
+        from repro.serving.engine import full_graph_forward
+
         ds = self.dataset
-        self.model.eval()
-        with no_grad():
-            logits = self.model(ds.graph, Tensor(ds.features), gcn_norm_tensor(ds.graph))
-        self.model.train()
+        logits = full_graph_forward(self.model, ds.graph, ds.features)
         return {
-            "train": accuracy(logits.data, ds.labels, ds.train_mask),
-            "val": accuracy(logits.data, ds.labels, ds.val_mask),
-            "test": accuracy(logits.data, ds.labels, ds.test_mask),
+            "train": accuracy(logits, ds.labels, ds.train_mask),
+            "val": accuracy(logits, ds.labels, ds.val_mask),
+            "test": accuracy(logits, ds.labels, ds.test_mask),
         }
 
     def fit(self, num_epochs: int, verbose: bool = False) -> TrainResult:

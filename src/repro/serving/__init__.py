@@ -1,0 +1,45 @@
+"""Online inference serving over trained checkpoints.
+
+The serving tier turns a training checkpoint into a query-able
+prediction service, exploiting the paper's full-batch economics: one
+layer-wise whole-graph forward pass (the vectorized kernel engine in
+eval mode) is cheap, so embeddings and logits are **precomputed** and a
+request is a table lookup.
+
+- :mod:`repro.serving.engine` — :class:`InferenceEngine`: checkpoint
+  loading, layer-wise precompute, ``predict``/``topk`` lookups; also the
+  repo's single full-graph inference path (:func:`full_graph_forward`).
+- :mod:`repro.serving.refresh` — incremental recompute of the k-hop
+  affected set after feature updates, with a sampler-backed on-demand
+  fallback (:class:`OnDemandInference`) for large or deferred updates.
+- :mod:`repro.serving.batcher` — :class:`MicroBatcher`: coalesces
+  concurrent lookups into one engine call.
+- :mod:`repro.serving.cache` — :class:`ResultCache`: measured-traffic
+  LRU over result rows (the real counterpart of :mod:`repro.cachesim`).
+- :mod:`repro.serving.server` — :class:`PredictionService` composition
+  and the stdlib HTTP endpoint (``repro serve``).
+"""
+
+from repro.serving.batcher import MicroBatcher
+from repro.serving.cache import ResultCache
+from repro.serving.engine import InferenceEngine, full_graph_forward
+from repro.serving.refresh import (
+    IncrementalRefresher,
+    OnDemandInference,
+    RefreshStats,
+    affected_sets,
+)
+from repro.serving.server import PredictionServer, PredictionService
+
+__all__ = [
+    "InferenceEngine",
+    "full_graph_forward",
+    "IncrementalRefresher",
+    "OnDemandInference",
+    "RefreshStats",
+    "affected_sets",
+    "MicroBatcher",
+    "ResultCache",
+    "PredictionService",
+    "PredictionServer",
+]

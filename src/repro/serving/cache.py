@@ -1,0 +1,118 @@
+"""LRU result cache for the online request path.
+
+The real-traffic counterpart of :mod:`repro.cachesim`: where the cache
+simulator replays kernel access traces to *model* reuse, this cache
+actually holds per-vertex logit rows for the serving tier and reports
+measured hit/miss counters (surfaced by ``/stats`` and the serving
+benchmark).  Fully-associative LRU over vertex ids, thread-safe — the
+HTTP server handles requests on multiple threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import INDEX_DTYPE
+
+
+class ResultCache:
+    """Thread-safe LRU mapping vertex id -> result row (logits)."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._rows: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # -- single-key ---------------------------------------------------------------
+
+    def get(self, vertex_id: int) -> Optional[np.ndarray]:
+        with self._lock:
+            row = self._rows.get(int(vertex_id))
+            if row is None:
+                self.misses += 1
+                return None
+            self._rows.move_to_end(int(vertex_id))
+            self.hits += 1
+            return row
+
+    def put(self, vertex_id: int, row: np.ndarray) -> None:
+        with self._lock:
+            self._put_locked(int(vertex_id), row)
+
+    def _put_locked(self, key: int, row: np.ndarray) -> None:
+        rows = self._rows
+        if key in rows:
+            rows.move_to_end(key)
+        elif len(rows) >= self.capacity:
+            rows.popitem(last=False)
+        rows[key] = row
+
+    # -- vectorized request path ---------------------------------------------------
+
+    def get_many(self, vertex_ids: np.ndarray) -> Tuple[dict, np.ndarray]:
+        """Look up a request's ids in one pass.
+
+        Returns ``(found, missing)``: a dict of id -> cached row, and the
+        (unique) ids that must be computed.  Duplicate requested ids
+        count one access each, like repeated singleton gets.
+        """
+        ids = np.asarray(vertex_ids, dtype=INDEX_DTYPE)
+        found: dict = {}
+        missing = []
+        with self._lock:
+            rows = self._rows
+            for key in ids.tolist():
+                row = rows.get(key)
+                if row is None:
+                    self.misses += 1
+                    missing.append(key)
+                else:
+                    rows.move_to_end(key)
+                    self.hits += 1
+                    found[key] = row
+        return found, np.unique(np.array(missing, dtype=INDEX_DTYPE))
+
+    def put_many(self, vertex_ids: np.ndarray, rows: np.ndarray) -> None:
+        """Insert one result row per id (aligned arrays)."""
+        ids = np.asarray(vertex_ids, dtype=INDEX_DTYPE)
+        if len(rows) != ids.size:
+            raise ValueError("rows must align with vertex_ids")
+        with self._lock:
+            for key, row in zip(ids.tolist(), rows):
+                self._put_locked(key, row)
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        with self._lock:
+            self._rows.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "size": len(self._rows),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,320 @@
+"""Incremental embedding refresh after vertex feature updates.
+
+A feature update at vertex set ``S`` invalidates exactly the k-hop
+out-neighbourhood of ``S``: layer ``l``'s output row ``v`` depends on
+``v``'s own layer input plus its in-neighbours' inputs, so the affected
+row set grows by one hop of out-edges per layer.  The refresher computes
+those per-layer affected sets from the CSR structure and recomputes
+*only those rows* against the engine's (updated) per-layer embedding
+tables — a row-subset CSR keeps the per-row reduction order identical to
+the full pass, so an incremental refresh is exactly equal to a full
+recompute.
+
+When the affected set exceeds ``full_threshold`` of the graph the
+row-subset pass stops paying for itself.  The refresher then either
+falls back to one full :meth:`~repro.serving.engine.InferenceEngine.
+precompute` (default), or — in ``deferred`` mode — leaves the tables
+stale and answers queries for affected vertices through
+:class:`OnDemandInference`, a :class:`~repro.sampling.sampler.
+NeighborSampler`-backed per-request path (exact at full fan-out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, INDEX_DTYPE
+from repro.nn.functional import _cached_reverse
+from repro.nn.tensor import Tensor, no_grad
+from repro.sampling.sampler import NeighborSampler
+from repro.serving.engine import InferenceEngine
+
+
+def _multi_row_take(indptr: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Edge positions of the given CSR rows, row order preserved
+    (vectorized multi-range gather — no per-row Python loop)."""
+    starts = indptr[rows]
+    counts = indptr[rows + 1] - starts
+    ends = np.cumsum(counts)
+    total = int(ends[-1]) if rows.size else 0
+    if total == 0:
+        return np.zeros(0, dtype=INDEX_DTYPE)
+    offsets = np.repeat(starts - np.concatenate(([0], ends[:-1])), counts)
+    return offsets + np.arange(total, dtype=INDEX_DTYPE)
+
+
+def out_neighbors(graph: CSRGraph, vertices: np.ndarray) -> np.ndarray:
+    """Destinations of all edges leaving ``vertices`` (sorted, unique).
+
+    Walks the reverse CSR that ``F.spmm`` caches on the graph for its
+    backward pass (built here if inference never trained).
+    """
+    rev = _cached_reverse(graph)
+    vertices = np.asarray(vertices, dtype=INDEX_DTYPE)
+    return np.unique(rev.indices[_multi_row_take(rev.indptr, vertices)])
+
+
+def affected_sets(
+    graph: CSRGraph, changed: np.ndarray, num_layers: int
+) -> List[np.ndarray]:
+    """Per-layer affected *output* row sets for a feature change.
+
+    ``affected[l]`` lists the vertices whose layer-``l`` output differs
+    after the inputs of ``changed`` vertices were modified: the change
+    set itself (every layer mixes in the self term) plus one hop of
+    out-edges per layer crossed.  Each layer expands only the vertices
+    discovered by the previous hop, so the traversal cost is
+    proportional to the reach, not layers x accumulated set.
+    """
+    changed = np.unique(np.asarray(changed, dtype=INDEX_DTYPE))
+    affected: List[np.ndarray] = []
+    current = changed
+    fresh = changed  # vertices whose out-edges are not expanded yet
+    for _ in range(num_layers):
+        reach = out_neighbors(graph, fresh)
+        fresh = np.setdiff1d(reach, current, assume_unique=False)
+        current = np.union1d(current, reach)
+        affected.append(current)
+    return affected
+
+
+def row_subgraph(graph: CSRGraph, rows: np.ndarray) -> CSRGraph:
+    """Rectangular CSR keeping only the given destination rows.
+
+    Column indices stay in the global source id space, and each kept
+    row's edge order is untouched — so a kernel pass over the subgraph
+    reduces each row in exactly the full graph's floating-point order.
+    """
+    rows = np.asarray(rows, dtype=INDEX_DTYPE)
+    counts = graph.indptr[rows + 1] - graph.indptr[rows]
+    indptr = np.zeros(rows.size + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    take = _multi_row_take(graph.indptr, rows)
+    return CSRGraph(
+        indptr=indptr,
+        indices=graph.indices[take],
+        edge_ids=graph.edge_ids[take],
+        num_src=graph.num_src,
+    )
+
+
+@dataclass(frozen=True)
+class RefreshStats:
+    """Outcome of one :meth:`IncrementalRefresher.update_features` call."""
+
+    #: "incremental" (row-subset recompute), "full" (whole-graph
+    #: precompute), or "deferred" (tables left stale, on-demand serving).
+    mode: str
+    num_updated: int
+    affected_per_layer: Tuple[int, ...]
+    affected_fraction: float
+    rows_recomputed: int
+
+
+class OnDemandInference:
+    """Sampler-backed per-request inference over the engine's features.
+
+    Builds the request vertices' k-hop in-neighbourhood with
+    :class:`NeighborSampler` and pushes it through the model layer by
+    layer using the **global** degree normalizers, so at full fan-out
+    (the default: the graph's maximum in-degree) the result is exactly
+    the full-graph forward.  Smaller fan-outs trade exactness for
+    bounded per-request work — the Dist-DGL estimator.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        fanouts: Optional[Sequence[int]] = None,
+        seed: int = 0,
+    ):
+        self.engine = engine
+        if fanouts is None:
+            full = max(int(engine.graph.in_degrees().max(initial=0)), 1)
+            fanouts = [full] * engine.num_layers
+        if len(fanouts) != engine.num_layers:
+            raise ValueError("need one fanout per layer")
+        self.fanouts = list(fanouts)
+        self.sampler = NeighborSampler(engine.graph, self.fanouts, seed=seed)
+        self.num_requests = 0
+        self.num_sampled_edges = 0
+
+    def predict(self, vertex_ids) -> np.ndarray:
+        """Logit rows for ``vertex_ids``, recomputed from raw features."""
+        engine = self.engine
+        ids = engine._check_ids(vertex_ids)
+        if ids.size == 0:
+            return np.zeros((0, engine.dataset.num_classes), dtype=np.float32)
+        batch = self.sampler.sample(ids)
+        self.num_requests += 1
+        self.num_sampled_edges += batch.total_sampled_edges
+        norm = engine.norm.data
+        model = engine.model
+        was_training = model.training
+        model.eval()
+        try:
+            with no_grad():
+                h = engine.features[batch.input_vertices]
+                for layer, block in zip(model.layers, batch.blocks):
+                    z = layer.aggregate(
+                        block.graph, Tensor(h), Tensor(norm[block.src_global])
+                    )
+                    h = layer.combine(
+                        z,
+                        Tensor(h[: block.num_dst]),
+                        Tensor(norm[block.dst_global]),
+                    ).data
+        finally:
+            model.train(was_training)
+        # sampler seeds are sorted-unique; map back to the request order
+        seeds = batch.seeds
+        return h[np.searchsorted(seeds, ids)]
+
+
+class IncrementalRefresher:
+    """Keeps an engine's embedding tables consistent under feature updates."""
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        full_threshold: float = 0.25,
+        deferred: bool = False,
+        fanouts: Optional[Sequence[int]] = None,
+    ):
+        if not 0.0 <= full_threshold <= 1.0:
+            raise ValueError("full_threshold must be in [0, 1]")
+        self.engine = engine.ensure_ready()
+        self.full_threshold = float(full_threshold)
+        self.deferred = bool(deferred)
+        self.on_demand = OnDemandInference(engine, fanouts=fanouts)
+        #: vertices whose precomputed rows are stale (deferred mode only).
+        self._stale = np.zeros(0, dtype=INDEX_DTYPE)
+        self.num_incremental = 0
+        self.num_full = 0
+        self.num_deferred = 0
+
+    @property
+    def stale(self) -> np.ndarray:
+        return self._stale
+
+    # -- updates ----------------------------------------------------------------
+
+    def update_features(self, vertex_ids, new_rows) -> RefreshStats:
+        """Apply a feature update and refresh the affected embeddings.
+
+        ``new_rows`` must align with ``vertex_ids`` (one feature row per
+        vertex).  Duplicate ids keep the last row, matching NumPy
+        fancy-assignment semantics.
+        """
+        engine = self.engine
+        ids = engine._check_ids(vertex_ids)
+        rows = np.asarray(new_rows, dtype=engine.features.dtype)
+        rows = np.atleast_2d(rows)
+        if rows.shape != (ids.size, engine.features.shape[1]):
+            raise ValueError(
+                f"new_rows shape {rows.shape} does not match "
+                f"({ids.size}, {engine.features.shape[1]})"
+            )
+        engine.features[ids] = rows
+        changed = np.unique(ids)
+        affected = affected_sets(engine.graph, changed, engine.num_layers)
+        fraction = affected[-1].size / max(engine.num_vertices, 1)
+        # A pending stale set poisons the layer tables an incremental
+        # pass would read from, so while staleness is outstanding every
+        # update defers (on-demand serves from raw features, which are
+        # always fresh); resolve() clears the debt in one full pass.
+        if fraction <= self.full_threshold and self._stale.size == 0:
+            recomputed = self._recompute_rows(affected)
+            self.num_incremental += 1
+            mode = "incremental"
+        elif self.deferred:
+            self._stale = np.union1d(self._stale, affected[-1])
+            self.num_deferred += 1
+            mode, recomputed = "deferred", 0
+        else:
+            engine.precompute()
+            self.num_full += 1
+            mode, recomputed = "full", engine.num_vertices * engine.num_layers
+        if mode != "full":  # precompute() already bumped the version
+            engine.version += 1
+        return RefreshStats(
+            mode=mode,
+            num_updated=changed.size,
+            affected_per_layer=tuple(a.size for a in affected),
+            affected_fraction=fraction,
+            rows_recomputed=recomputed,
+        )
+
+    def _recompute_rows(self, affected: List[np.ndarray]) -> int:
+        """Row-subset recompute: layer ``l``'s affected rows against the
+        (already updated) layer-``l`` input table."""
+        engine = self.engine
+        model = engine.model
+        norm = engine.norm.data
+        tables = engine.layer_inputs + [engine.logits]
+        recomputed = 0
+        was_training = model.training
+        model.eval()
+        try:
+            with no_grad():
+                for l, layer in enumerate(model.layers):
+                    rows = affected[l]
+                    if rows.size == 0:
+                        continue
+                    sub = row_subgraph(engine.graph, rows)
+                    h_full = Tensor(tables[l])
+                    z = layer.aggregate(sub, h_full, engine.norm)
+                    out = layer.combine(
+                        z,
+                        Tensor(tables[l][rows]),
+                        Tensor(norm[rows]),
+                    )
+                    tables[l + 1][rows] = out.data
+                    recomputed += rows.size
+        finally:
+            model.train(was_training)
+        return recomputed
+
+    # -- stale-aware serving ------------------------------------------------------
+
+    def predict(self, vertex_ids) -> np.ndarray:
+        """Fresh logit rows: table lookups, with stale vertices (deferred
+        mode) answered through the on-demand sampler path."""
+        engine = self.engine
+        ids = engine._check_ids(vertex_ids)
+        out = engine.predict(ids)
+        if self._stale.size == 0:
+            return out
+        stale_mask = np.isin(ids, self._stale)
+        if stale_mask.any():
+            out = np.array(out, copy=True)
+            out[stale_mask] = self.on_demand.predict(ids[stale_mask])
+        return out
+
+    def resolve(self) -> RefreshStats:
+        """Clear any deferred staleness with one full precompute."""
+        engine = self.engine
+        engine.precompute()
+        self.num_full += 1
+        stale = self._stale.size
+        self._stale = np.zeros(0, dtype=INDEX_DTYPE)
+        return RefreshStats(
+            mode="full",
+            num_updated=0,
+            affected_per_layer=(stale,) * engine.num_layers,
+            affected_fraction=stale / max(engine.num_vertices, 1),
+            rows_recomputed=engine.num_vertices * engine.num_layers,
+        )
+
+    def stats(self) -> dict:
+        return {
+            "incremental": self.num_incremental,
+            "full": self.num_full,
+            "deferred": self.num_deferred,
+            "stale_vertices": int(self._stale.size),
+            "on_demand_requests": self.on_demand.num_requests,
+            "full_threshold": self.full_threshold,
+        }

@@ -1,0 +1,218 @@
+"""JSON-over-HTTP prediction service (stdlib only).
+
+:class:`PredictionService` composes the serving pieces — engine lookups,
+optional LRU result cache, optional micro-batching, optional stale-aware
+refresher routing — behind one ``predict``/``topk`` surface, and
+:class:`PredictionServer` exposes that surface on a
+``ThreadingHTTPServer``:
+
+- ``POST /predict``  body ``{"vertices": [..], "k": 3?}`` ->
+  ``{"vertices", "labels", "topk"?}``
+- ``GET /stats``     engine / cache / batcher / refresher counters
+- ``GET /healthz``   liveness
+
+Request flow: per-request cache probe first (a full hit never queues),
+then the missing ids go through the micro-batcher, which coalesces
+misses across concurrent requests into one engine gather.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import INDEX_DTYPE
+from repro.serving.batcher import MicroBatcher
+from repro.serving.cache import ResultCache
+from repro.serving.engine import InferenceEngine, topk_rows
+from repro.serving.refresh import IncrementalRefresher
+
+
+class PredictionService:
+    """Cache- and batch-aware front end over an :class:`InferenceEngine`."""
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        cache: Optional[ResultCache] = None,
+        batch: bool = False,
+        max_batch: int = 256,
+        max_wait_ms: float = 2.0,
+        refresher: Optional[IncrementalRefresher] = None,
+    ):
+        engine.ensure_ready()
+        self.engine = engine
+        self.cache = cache
+        self.refresher = refresher
+        # stale-aware lookups when a refresher is attached (deferred
+        # updates route affected vertices through the on-demand path)
+        self._lookup = refresher.predict if refresher is not None else engine.predict
+        self.batcher = (
+            MicroBatcher(self._lookup, max_batch=max_batch, max_wait_ms=max_wait_ms)
+            if batch
+            else None
+        )
+        self.num_requests = 0
+        self._cached_version = engine.version
+
+    # -- request path ----------------------------------------------------------------
+
+    def _compute(self, ids: np.ndarray) -> np.ndarray:
+        if self.batcher is not None:
+            return self.batcher.predict(ids)
+        return self._lookup(ids)
+
+    def predict_logits(self, vertex_ids) -> np.ndarray:
+        """One logit row per requested vertex (request order preserved)."""
+        ids = self.engine._check_ids(vertex_ids)
+        self.num_requests += 1
+        if ids.size == 0:
+            return np.zeros((0, self.engine.dataset.num_classes), dtype=np.float32)
+        if self.cache is None:
+            return self._compute(ids)
+        # a table rewrite (precompute or refresher update) invalidates
+        # every cached row — drop them rather than serve stale results
+        if self.engine.version != self._cached_version:
+            self.cache.reset()
+            self._cached_version = self.engine.version
+        found, missing = self.cache.get_many(ids)
+        if missing.size:
+            rows = self._compute(missing)
+            self.cache.put_many(missing, rows)
+            found.update(zip(missing.tolist(), rows))
+        return np.stack([found[v] for v in ids.tolist()])
+
+    def predict(self, vertex_ids) -> np.ndarray:
+        """Argmax label per requested vertex."""
+        return np.argmax(self.predict_logits(vertex_ids), axis=1)
+
+    def topk(self, vertex_ids, k: int = 5) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` ``(classes, scores)`` per requested vertex, derived
+        from the (possibly cached) logit rows."""
+        return topk_rows(self.predict_logits(vertex_ids), k)
+
+    # -- lifecycle / introspection ------------------------------------------------------
+
+    def stats(self) -> dict:
+        out = {"requests": self.num_requests, "engine": self.engine.stats()}
+        out["cache"] = self.cache.stats() if self.cache is not None else None
+        out["batcher"] = self.batcher.stats() if self.batcher is not None else None
+        out["refresher"] = (
+            self.refresher.stats() if self.refresher is not None else None
+        )
+        return out
+
+    def close(self) -> None:
+        if self.batcher is not None:
+            self.batcher.close()
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _PredictionHandler(BaseHTTPRequestHandler):
+    """Routes requests to the server's :class:`PredictionService`."""
+
+    server_version = "repro-serve/1.0"
+
+    @property
+    def service(self) -> PredictionService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, fmt, *args):  # quiet by default
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(fmt, *args)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._reply(200, {"status": "ok"})
+        elif self.path == "/stats":
+            self._reply(200, self.service.stats())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:
+        if self.path != "/predict":
+            self._reply(404, {"error": f"unknown path {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            req = json.loads(self.rfile.read(length) or b"{}")
+            vertices = np.asarray(req["vertices"], dtype=INDEX_DTYPE)
+            k = req.get("k")
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            self._reply(400, {"error": f"bad request: {exc}"})
+            return
+        try:
+            svc = self.service
+            resp = {
+                "vertices": vertices.tolist(),
+                "labels": svc.predict(vertices).tolist(),
+            }
+            if k is not None:
+                classes, scores = svc.topk(vertices, k=int(k))
+                resp["topk"] = [
+                    [
+                        {"class": int(c), "score": float(s)}
+                        for c, s in zip(crow, srow)
+                    ]
+                    for crow, srow in zip(classes, scores)
+                ]
+            self._reply(200, resp)
+        except ValueError as exc:  # e.g. out-of-range vertex ids
+            self._reply(400, {"error": str(exc)})
+
+
+class PredictionServer:
+    """``ThreadingHTTPServer`` wrapper owning a service."""
+
+    def __init__(
+        self,
+        service: PredictionService,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        verbose: bool = False,
+    ):
+        self.service = service
+        self.httpd = ThreadingHTTPServer((host, port), _PredictionHandler)
+        self.httpd.service = service  # type: ignore[attr-defined]
+        self.httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Bound ``(host, port)`` — resolves port 0 to the real one."""
+        return self.httpd.server_address[:2]
+
+    def serve_forever(self) -> None:  # pragma: no cover - interactive path
+        self.httpd.serve_forever()
+
+    def start_background(self) -> "PredictionServer":
+        """Serve on a daemon thread (tests, embedded use)."""
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self.service.close()

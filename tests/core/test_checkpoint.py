@@ -82,6 +82,63 @@ def test_sgd_velocity_round_trip(tmp_path):
         )
 
 
+@pytest.mark.parametrize("model_name", ["sage", "gcn"])
+def test_resume_bitwise_identical(tmp_path, reddit_mini, model_name):
+    """N epochs + checkpoint + resume N epochs == 2N straight epochs,
+    bit-for-bit: parameters AND Adam moments/step counter."""
+    n = 3
+    cfg = TrainConfig(**{**vars(CFG), "model": model_name})
+    straight = Trainer(reddit_mini, cfg)
+    straight.fit(num_epochs=2 * n)
+
+    first = Trainer(reddit_mini, cfg)
+    first.fit(num_epochs=n)
+    path = str(tmp_path / f"resume_{model_name}.npz")
+    save_checkpoint(path, first.model, first.optimizer, epoch=n)
+
+    resumed = Trainer(reddit_mini, cfg)
+    start, _ = load_checkpoint(path, resumed.model, resumed.optimizer)
+    assert start == n
+    resumed.fit(num_epochs=2 * n, start_epoch=start)
+
+    for (name, p_s), (_, p_r) in zip(
+        straight.model.named_parameters(), resumed.model.named_parameters()
+    ):
+        assert np.array_equal(p_s.data, p_r.data), f"params diverge at {name}"
+    assert straight.optimizer._t == resumed.optimizer._t
+    for p_s, p_r in zip(straight.optimizer.params, resumed.optimizer.params):
+        assert np.array_equal(
+            straight.optimizer._m[id(p_s)], resumed.optimizer._m[id(p_r)]
+        )
+        assert np.array_equal(
+            straight.optimizer._v[id(p_s)], resumed.optimizer._v[id(p_r)]
+        )
+
+
+def test_peek_checkpoint_and_meta_round_trip(tmp_path):
+    from repro.core.checkpoint import config_from_meta, peek_checkpoint, training_meta
+
+    cfg = TrainConfig(model="gcn", num_layers=2, hidden_features=16)
+    model = GraphSAGE(4, 8, 2, seed=0)
+    path = str(tmp_path / "meta.npz")
+    save_checkpoint(path, model, epoch=11, extra=training_meta(cfg))
+    epoch, extra = peek_checkpoint(path)
+    assert epoch == 11
+    rebuilt = config_from_meta(extra, TrainConfig())
+    assert rebuilt.model == "gcn"
+    assert rebuilt.num_layers == 2
+    assert rebuilt.hidden_features == 16
+    assert isinstance(rebuilt.num_layers, int)
+
+
+def test_config_from_meta_tolerates_missing_keys():
+    from repro.core.checkpoint import config_from_meta
+
+    base = TrainConfig(model="sage", num_layers=3)
+    rebuilt = config_from_meta({}, base)
+    assert rebuilt.model == "sage" and rebuilt.num_layers == 3
+
+
 def test_version_check(tmp_path):
     model = GraphSAGE(4, 8, 2, seed=0)
     path = str(tmp_path / "v.npz")

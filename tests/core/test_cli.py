@@ -115,6 +115,57 @@ def test_sample(capsys):
     assert "sampled work" in capsys.readouterr().out
 
 
+def test_train_resume(capsys, tmp_path):
+    ckpt = str(tmp_path / "r.npz")
+    base = ["--dataset", "reddit", "--scale", "0.05"]
+    assert main(["train", *base, "--epochs", "2", "--checkpoint", ckpt]) == 0
+    capsys.readouterr()
+    rc = main(["train", *base, "--epochs", "4", "--resume", ckpt])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "resumed from epoch 2" in out
+    assert "final test accuracy" in out
+
+
+def test_train_resume_rejects_distributed(capsys, tmp_path):
+    ckpt = str(tmp_path / "r.npz")
+    base = ["--dataset", "reddit", "--scale", "0.05"]
+    assert main(["train", *base, "--epochs", "2", "--checkpoint", ckpt]) == 0
+    rc = main(
+        ["train", *base, "--epochs", "4", "--resume", ckpt, "--partitions", "2"]
+    )
+    assert rc == 2
+    assert "--resume" in capsys.readouterr().err
+
+
+def test_predict_cli(capsys, tmp_path):
+    ckpt = str(tmp_path / "p.npz")
+    base = ["--dataset", "reddit", "--scale", "0.05"]
+    assert main(["train", *base, "--epochs", "2", "--checkpoint", ckpt]) == 0
+    capsys.readouterr()
+    rc = main(
+        ["predict", *base, "--checkpoint", ckpt, "--vertices", "0,5,9", "--k", "2"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.count("vertex") == 3 and "top2" in out
+
+
+def test_predict_cli_bad_vertices(capsys, tmp_path):
+    ckpt = str(tmp_path / "b.npz")
+    base = ["--dataset", "reddit", "--scale", "0.05"]
+    assert main(["train", *base, "--epochs", "1", "--checkpoint", ckpt]) == 0
+    rc = main(["predict", *base, "--checkpoint", ckpt, "--vertices", "zero"])
+    assert rc == 2
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_serve_parser_accepts_options():
+    args = build_parser().parse_args(
+        ["serve", "--checkpoint", "c.npz", "--port", "0", "--cache-size", "128"]
+    )
+    assert args.command == "serve" and args.cache_size == 128

@@ -1,0 +1,93 @@
+"""MicroBatcher: correctness under concurrency, coalescing, lifecycle."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import MicroBatcher
+
+TABLE = np.arange(100, dtype=np.float32).reshape(50, 2)
+
+
+def lookup(ids: np.ndarray) -> np.ndarray:
+    return TABLE[ids]
+
+
+def test_single_request_round_trip():
+    with MicroBatcher(lookup, max_wait_ms=0.0) as b:
+        out = b.predict([3, 1, 3])
+        assert np.array_equal(out, TABLE[[3, 1, 3]])
+
+
+def test_concurrent_submits_all_correct():
+    results = {}
+
+    def client(c):
+        ids = np.array([c, (c + 7) % 50, c])
+        results[c] = (ids, b.predict(ids))
+
+    with MicroBatcher(lookup, max_batch=16, max_wait_ms=5.0) as b:
+        threads = [threading.Thread(target=client, args=(c,)) for c in range(10)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    for ids, rows in results.values():
+        assert np.array_equal(rows, TABLE[ids])
+    stats = b.stats()
+    assert stats["requests"] == 10
+    assert stats["vertices_submitted"] == 30
+
+
+def test_coalescing_and_dedupe():
+    """Requests queued while a batch is in flight coalesce into one call."""
+    gate = threading.Event()
+    calls = []
+
+    def gated(ids):
+        calls.append(np.array(ids))
+        gate.wait(timeout=5.0)
+        return lookup(ids)
+
+    b = MicroBatcher(gated, max_batch=100, max_wait_ms=0.0)
+    first = b.submit([0])
+    while not calls:  # worker now blocked inside compute
+        time.sleep(0.001)
+    followers = [b.submit([5, 6]), b.submit([6, 7]), b.submit([7, 5])]
+    gate.set()
+    assert np.array_equal(first.result(5.0), TABLE[[0]])
+    for fut, ids in zip(followers, ([5, 6], [6, 7], [7, 5])):
+        assert np.array_equal(fut.result(5.0), TABLE[ids])
+    stats = b.stats()
+    assert stats["batches"] == 2            # 1 solo + 1 coalesced
+    assert stats["vertices_computed"] == 4  # {0} + {5,6,7} deduped
+    assert stats["coalesced_vertices"] == 3
+    assert len(calls) == 2 and sorted(calls[1].tolist()) == [5, 6, 7]
+    b.close()
+
+
+def test_compute_exception_propagates():
+    def boom(ids):
+        raise RuntimeError("backend down")
+
+    with MicroBatcher(boom, max_wait_ms=0.0) as b:
+        fut = b.submit([1])
+        with pytest.raises(RuntimeError, match="backend down"):
+            fut.result(timeout=5.0)
+
+
+def test_submit_after_close_raises():
+    b = MicroBatcher(lookup)
+    b.close()
+    b.close()  # idempotent
+    with pytest.raises(RuntimeError, match="closed"):
+        b.submit([0])
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        MicroBatcher(lookup, max_batch=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(lookup, max_wait_ms=-1.0)

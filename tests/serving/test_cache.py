@@ -1,0 +1,69 @@
+"""ResultCache: LRU semantics and measured hit/miss counters."""
+
+import numpy as np
+import pytest
+
+from repro.serving import ResultCache
+
+
+def _row(v: float) -> np.ndarray:
+    return np.full(4, v, dtype=np.float32)
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        ResultCache(0)
+
+
+def test_hit_miss_counters():
+    c = ResultCache(4)
+    assert c.get(1) is None
+    c.put(1, _row(1.0))
+    assert np.array_equal(c.get(1), _row(1.0))
+    assert (c.hits, c.misses, c.accesses) == (1, 1, 2)
+    assert c.hit_rate == 0.5
+
+
+def test_lru_eviction_order():
+    c = ResultCache(2)
+    c.put(1, _row(1)); c.put(2, _row(2))
+    c.get(1)            # 2 is now least-recently used
+    c.put(3, _row(3))   # evicts 2
+    assert c.get(2) is None
+    assert c.get(1) is not None and c.get(3) is not None
+    assert len(c) == 2
+
+
+def test_put_refreshes_recency():
+    c = ResultCache(2)
+    c.put(1, _row(1)); c.put(2, _row(2))
+    c.put(1, _row(10))  # re-put moves 1 to MRU
+    c.put(3, _row(3))   # evicts 2, not 1
+    assert c.get(2) is None
+    assert np.array_equal(c.get(1), _row(10))
+
+
+def test_get_many_put_many_roundtrip():
+    c = ResultCache(8)
+    found, missing = c.get_many(np.array([1, 2, 3, 2]))
+    assert found == {} and missing.tolist() == [1, 2, 3]  # deduped
+    assert c.misses == 4  # duplicates count one access each
+    c.put_many(missing, np.stack([_row(v) for v in missing]))
+    found, missing = c.get_many(np.array([1, 2, 9]))
+    assert missing.tolist() == [9]
+    assert set(found) == {1, 2}
+    assert np.array_equal(found[2], _row(2))
+
+
+def test_put_many_alignment_check():
+    with pytest.raises(ValueError, match="align"):
+        ResultCache(4).put_many(np.array([1, 2]), np.zeros((3, 4)))
+
+
+def test_reset_and_stats():
+    c = ResultCache(4)
+    c.put(1, _row(1)); c.get(1); c.get(2)
+    s = c.stats()
+    assert s["hits"] == 1 and s["misses"] == 1 and s["size"] == 1
+    c.reset()
+    assert c.accesses == 0 and len(c) == 0 and c.hit_rate == 0.0

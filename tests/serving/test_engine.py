@@ -1,0 +1,112 @@
+"""InferenceEngine: precompute bit-identity, lookups, checkpoint rebuild."""
+
+import numpy as np
+import pytest
+
+from repro.core import TrainConfig
+from repro.nn import GAT
+from repro.nn.tensor import Tensor, no_grad
+from repro.serving import InferenceEngine, full_graph_forward
+from repro.serving.engine import model_kind
+
+
+def _direct_logits(trained):
+    ds, trainer, cfg = trained
+    trainer.model.eval()
+    with no_grad():
+        logits = trainer.model(ds.graph, Tensor(ds.features), trainer.norm)
+    trainer.model.train()
+    return logits.data
+
+
+def test_predict_bit_identical_to_direct_forward(trained, engine):
+    ds, _, _ = trained
+    direct = _direct_logits(trained)
+    ids = np.array([0, 3, 17, ds.num_vertices - 1])
+    assert np.array_equal(engine.predict(ids), direct[ids])
+    # and the full table
+    assert np.array_equal(engine.logits, direct)
+
+
+def test_full_graph_forward_matches_model_call(trained):
+    ds, trainer, _ = trained
+    assert np.array_equal(
+        full_graph_forward(trainer.model, ds.graph, ds.features),
+        _direct_logits(trained),
+    )
+
+
+def test_capture_inputs_layout(trained, engine):
+    ds, _, cfg = trained
+    assert len(engine.layer_inputs) == cfg.num_layers
+    # layer 0 input IS the engine's feature matrix (refresh writes there)
+    assert engine.layer_inputs[0] is engine.features
+    assert engine.layer_inputs[1].shape == (ds.num_vertices, cfg.hidden_features)
+    assert engine.logits.shape == (ds.num_vertices, ds.num_classes)
+
+
+def test_from_checkpoint_rebuilds_architecture(trained, checkpoint_path):
+    ds, trainer, cfg = trained
+    eng = InferenceEngine.from_checkpoint(checkpoint_path, ds)
+    assert eng.model_kind == cfg.model
+    assert eng.checkpoint_epoch == 3
+    eng.precompute()
+    assert np.array_equal(eng.logits, _direct_logits(trained))
+
+
+def test_from_checkpoint_config_override(trained, checkpoint_path):
+    """An explicit config is still overlaid by the checkpoint's meta,
+    so the model shape always matches the stored weights."""
+    ds, _, cfg = trained
+    base = TrainConfig(num_layers=3, hidden_features=64, model="sage")
+    eng = InferenceEngine.from_checkpoint(checkpoint_path, ds, config=base)
+    assert eng.model.num_parameters() > 0
+    assert eng.config.num_layers == cfg.num_layers
+    assert eng.config.hidden_features == cfg.hidden_features
+
+
+def test_predict_labels_and_topk(engine):
+    ids = np.arange(10)
+    rows = engine.predict(ids)
+    assert np.array_equal(engine.predict_labels(ids), np.argmax(rows, axis=1))
+    classes, scores = engine.topk(ids, k=3)
+    assert classes.shape == scores.shape == (10, 3)
+    # descending scores, first column is the argmax
+    assert np.all(np.diff(scores, axis=1) <= 0)
+    assert np.array_equal(classes[:, 0], np.argmax(rows, axis=1))
+    # exact rows: top-3 == argsort head
+    for row, crow in zip(rows, classes):
+        expected = np.argsort(-row, kind="stable")[:3]
+        assert set(crow) == set(expected)
+
+
+def test_topk_k_clamped_to_num_classes(engine):
+    classes, _ = engine.topk([0], k=10_000)
+    assert classes.shape[1] == engine.dataset.num_classes
+
+
+def test_vertex_id_validation(engine):
+    with pytest.raises(ValueError, match="vertex ids"):
+        engine.predict([engine.num_vertices])
+    with pytest.raises(ValueError, match="vertex ids"):
+        engine.predict([-1])
+
+
+def test_lazy_precompute(trained):
+    ds, trainer, cfg = trained
+    eng = InferenceEngine(ds, trainer.model, cfg)
+    assert eng.logits is None and not eng.stats()["ready"]
+    eng.predict([0])  # ensure_ready triggers the pass
+    assert eng.num_precomputes == 1 and eng.stats()["ready"]
+
+
+def test_unsupported_model_rejected(reddit_mini):
+    gat = GAT(reddit_mini.feature_dim, 8, reddit_mini.num_classes)
+    with pytest.raises(TypeError, match="serving supports"):
+        model_kind(gat)
+
+
+def test_engine_owns_feature_copy(trained, engine):
+    ds, _, _ = trained
+    engine.features[0, 0] += 1.0
+    assert ds.features[0, 0] != engine.features[0, 0]

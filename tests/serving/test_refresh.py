@@ -1,0 +1,181 @@
+"""Incremental refresh: affected sets, exactness vs full recompute,
+threshold fallback, deferred on-demand serving."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builders import from_edge_list
+from repro.serving import (
+    IncrementalRefresher,
+    InferenceEngine,
+    OnDemandInference,
+    affected_sets,
+)
+from repro.serving.refresh import out_neighbors, row_subgraph
+
+
+def _updated_copy_engine(trained, ids, rows):
+    """Fresh engine over the same model with features updated up front —
+    the ground truth a refresh must match exactly."""
+    ds, trainer, cfg = trained
+    eng = InferenceEngine(ds, trainer.model, cfg)
+    eng.features[ids] = rows
+    return eng.precompute()
+
+
+def _rand_update(ds, n=3, seed=0):
+    rng = np.random.default_rng(seed)
+    ids = rng.choice(ds.num_vertices, size=n, replace=False)
+    rows = rng.standard_normal((n, ds.feature_dim)).astype(np.float32)
+    return ids, rows
+
+
+# -- structure helpers -----------------------------------------------------------
+
+
+def test_affected_sets_on_chain():
+    # 0 -> 1 -> 2 -> 3: changing 0 reaches one extra hop per layer
+    g = from_edge_list([(0, 1), (1, 2), (2, 3)], num_vertices=4)
+    affected = affected_sets(g, np.array([0]), num_layers=2)
+    assert affected[0].tolist() == [0, 1]
+    assert affected[1].tolist() == [0, 1, 2]
+
+
+def test_out_neighbors_matches_reverse_edges():
+    g = from_edge_list([(0, 1), (0, 2), (3, 0), (2, 1)], num_vertices=4)
+    assert out_neighbors(g, np.array([0])).tolist() == [1, 2]
+    assert out_neighbors(g, np.array([3])).tolist() == [0]
+    assert out_neighbors(g, np.array([1])).tolist() == []
+
+
+def test_row_subgraph_preserves_rows(tiny_graph):
+    rows = np.array([1, 3])
+    sub = row_subgraph(tiny_graph, rows)
+    assert sub.num_vertices == 2
+    assert sub.num_src == tiny_graph.num_src
+    for local, v in enumerate(rows):
+        assert sub.neighbors(local).tolist() == tiny_graph.neighbors(v).tolist()
+        assert sub.edge_ids_of(local).tolist() == tiny_graph.edge_ids_of(v).tolist()
+
+
+# -- exactness -------------------------------------------------------------------
+
+
+def test_incremental_refresh_matches_full_recompute(trained, engine):
+    ds, _, _ = trained
+    ids, rows = _rand_update(ds)
+    stats = IncrementalRefresher(engine, full_threshold=1.0).update_features(
+        ids, rows
+    )
+    assert stats.mode == "incremental"
+    truth = _updated_copy_engine(trained, ids, rows)
+    assert np.array_equal(engine.logits, truth.logits)
+    for got, want in zip(engine.layer_inputs, truth.layer_inputs):
+        assert np.array_equal(got, want)
+
+
+def test_full_fallback_above_threshold(trained, engine):
+    ds, _, _ = trained
+    ids, rows = _rand_update(ds, seed=1)
+    ref = IncrementalRefresher(engine, full_threshold=0.0)
+    stats = ref.update_features(ids, rows)
+    assert stats.mode == "full" and ref.num_full == 1
+    truth = _updated_copy_engine(trained, ids, rows)
+    assert np.array_equal(engine.logits, truth.logits)
+
+
+def test_refresh_stats_accounting(trained, engine):
+    ds, _, _ = trained
+    ids, rows = _rand_update(ds, seed=2)
+    stats = IncrementalRefresher(engine, full_threshold=1.0).update_features(
+        ids, rows
+    )
+    assert stats.num_updated == ids.size
+    assert len(stats.affected_per_layer) == engine.num_layers
+    # affected sets grow monotonically and bound the recompute
+    assert list(stats.affected_per_layer) == sorted(stats.affected_per_layer)
+    assert stats.rows_recomputed == sum(stats.affected_per_layer)
+    assert 0 < stats.affected_fraction <= 1.0
+
+
+def test_update_shape_validation(engine):
+    with pytest.raises(ValueError, match="new_rows shape"):
+        IncrementalRefresher(engine).update_features(
+            [0, 1], np.zeros((3, engine.features.shape[1]), dtype=np.float32)
+        )
+
+
+# -- on-demand path ---------------------------------------------------------------
+
+
+def test_on_demand_exact_at_full_fanout(trained, engine):
+    ds, _, _ = trained
+    ids = np.array([5, 0, 11])  # unsorted on purpose: order must be preserved
+    od = OnDemandInference(engine)
+    assert np.array_equal(od.predict(ids), engine.logits[ids])
+    assert od.num_requests == 1 and od.num_sampled_edges > 0
+
+
+def test_on_demand_small_fanout_is_estimate(trained, engine):
+    ds, _, cfg = trained
+    od = OnDemandInference(engine, fanouts=[2] * cfg.num_layers)
+    rows = od.predict([0, 1])
+    assert rows.shape == (2, ds.num_classes)  # approximate, but well-formed
+
+
+def test_deferred_mode_serves_fresh_rows(trained, engine):
+    ds, _, _ = trained
+    ids, rows = _rand_update(ds, seed=3)
+    ref = IncrementalRefresher(engine, full_threshold=0.0, deferred=True)
+    stats = ref.update_features(ids, rows)
+    assert stats.mode == "deferred"
+    assert ref.stale.size == stats.affected_per_layer[-1]
+
+    truth = _updated_copy_engine(trained, ids, rows)
+    probe = np.concatenate([ids[:2], [int(ref.stale[0])]])
+    # stale tables still answer engine.predict; refresher.predict is fresh
+    assert np.array_equal(ref.predict(probe), truth.logits[probe])
+
+    # resolve() clears staleness with one full pass
+    ref.resolve()
+    assert ref.stale.size == 0
+    assert np.array_equal(engine.logits, truth.logits)
+
+
+def test_small_update_after_deferred_stays_deferred(trained, engine):
+    """With staleness outstanding, an incremental pass would read
+    poisoned layer tables — every further update must defer until
+    resolve() clears the debt."""
+    ds, _, _ = trained
+    ref = IncrementalRefresher(engine, full_threshold=0.5, deferred=True)
+    ids_a, rows_a = _rand_update(ds, seed=6)
+    # force staleness regardless of graph density
+    ref.full_threshold = 0.0
+    assert ref.update_features(ids_a, rows_a).mode == "deferred"
+    ref.full_threshold = 1.0  # small update would normally go incremental
+    ids_b, rows_b = _rand_update(ds, seed=7)
+    stats = ref.update_features(ids_b, rows_b)
+    assert stats.mode == "deferred"
+
+    # stale-aware predict still matches ground truth for both updates
+    truth = _updated_copy_engine(trained, ids_a, rows_a)
+    truth.features[ids_b] = rows_b
+    truth.precompute()
+    probe = np.concatenate([ids_a[:2], ids_b[:2]])
+    assert np.array_equal(ref.predict(probe), truth.logits[probe])
+    ref.resolve()
+    assert np.array_equal(engine.logits, truth.logits)
+
+
+def test_refresh_bumps_engine_version(trained, engine):
+    ds, _, _ = trained
+    v0 = engine.version
+    ids, rows = _rand_update(ds, seed=8)
+    IncrementalRefresher(engine, full_threshold=1.0).update_features(ids, rows)
+    assert engine.version > v0
+
+
+def test_stats_surface(engine):
+    ref = IncrementalRefresher(engine)
+    s = ref.stats()
+    assert {"incremental", "full", "deferred", "stale_vertices"} <= set(s)

@@ -1,0 +1,144 @@
+"""PredictionService composition and the HTTP endpoint."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    IncrementalRefresher,
+    PredictionServer,
+    PredictionService,
+    ResultCache,
+)
+
+
+def _post(url, payload):
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"), method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        return resp.status, json.load(resp)
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, json.load(resp)
+
+
+# -- service composition ----------------------------------------------------------
+
+
+def test_service_matches_engine(engine):
+    ids = np.array([4, 9, 4, 0])
+    with PredictionService(engine) as svc:
+        assert np.array_equal(svc.predict_logits(ids), engine.logits[ids])
+        assert np.array_equal(svc.predict(ids), np.argmax(engine.logits[ids], axis=1))
+
+
+def test_service_cache_and_batcher_preserve_results(engine):
+    ids = np.array([7, 3, 7, 11])
+    with PredictionService(
+        engine, cache=ResultCache(8), batch=True, max_batch=16, max_wait_ms=0.5
+    ) as svc:
+        first = svc.predict_logits(ids)
+        second = svc.predict_logits(ids)  # fully cached now
+        assert np.array_equal(first, engine.logits[ids])
+        assert np.array_equal(second, first)
+        assert svc.cache.hits >= 4
+        topk_classes, _ = svc.topk(ids, k=2)
+        assert topk_classes.shape == (4, 2)
+    stats = svc.stats()
+    assert stats["requests"] == 3
+    assert stats["cache"]["hits"] == svc.cache.hits
+    assert stats["batcher"]["requests"] >= 1
+
+
+def test_service_routes_through_refresher(trained, engine):
+    ds, _, _ = trained
+    ref = IncrementalRefresher(engine, full_threshold=0.0, deferred=True)
+    rng = np.random.default_rng(5)
+    ids = np.array([2, 8])
+    ref.update_features(ids, rng.standard_normal((2, ds.feature_dim)).astype(np.float32))
+    with PredictionService(engine, refresher=ref) as svc:
+        got = svc.predict_logits(ids)
+    # served rows reflect the update even though the tables are stale
+    assert not np.array_equal(got, engine.logits[ids])
+    assert svc.stats()["refresher"]["stale_vertices"] > 0
+
+
+def test_cache_invalidated_by_refresh(trained, engine):
+    """A refresher table rewrite must not leave stale rows in the
+    service's result cache."""
+    ds, _, _ = trained
+    ref = IncrementalRefresher(engine, full_threshold=1.0)
+    with PredictionService(engine, cache=ResultCache(64), refresher=ref) as svc:
+        ids = np.array([0, 1])
+        before = svc.predict_logits(ids)  # fills the cache
+        rng = np.random.default_rng(11)
+        upd = np.array([0])
+        ref.update_features(
+            upd, rng.standard_normal((1, ds.feature_dim)).astype(np.float32)
+        )
+        after = svc.predict_logits(ids)
+        assert np.array_equal(after, engine.logits[ids])
+        assert not np.array_equal(after[0], before[0])
+
+
+def test_empty_request_with_cache(trained, engine):
+    ds, _, _ = trained
+    with PredictionService(engine, cache=ResultCache(8)) as svc:
+        rows = svc.predict_logits([])
+        assert rows.shape == (0, ds.num_classes)
+        assert svc.predict([]).shape == (0,)
+
+
+# -- HTTP endpoint ----------------------------------------------------------------
+
+
+@pytest.fixture
+def live_server(engine):
+    svc = PredictionService(engine, cache=ResultCache(64))
+    server = PredictionServer(svc, port=0).start_background()
+    host, port = server.address
+    yield engine, f"http://{host}:{port}"
+    server.shutdown()
+
+
+def test_http_predict(live_server):
+    engine, base = live_server
+    status, resp = _post(f"{base}/predict", {"vertices": [0, 7, 9], "k": 2})
+    assert status == 200
+    assert resp["vertices"] == [0, 7, 9]
+    assert resp["labels"] == np.argmax(engine.logits[[0, 7, 9]], axis=1).tolist()
+    assert len(resp["topk"]) == 3 and len(resp["topk"][0]) == 2
+    top = resp["topk"][0][0]
+    assert top["class"] == resp["labels"][0]
+    assert top["score"] == pytest.approx(float(engine.logits[0].max()))
+
+
+def test_http_stats_and_health(live_server):
+    _, base = live_server
+    _post(f"{base}/predict", {"vertices": [1, 2]})
+    status, stats = _get(f"{base}/stats")
+    assert status == 200
+    assert stats["requests"] >= 1 and stats["cache"]["capacity"] == 64
+    status, health = _get(f"{base}/healthz")
+    assert status == 200 and health == {"status": "ok"}
+
+
+def test_http_error_handling(live_server):
+    engine, base = live_server
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _post(f"{base}/predict", {"wrong_key": [1]})
+    assert err.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _post(f"{base}/predict", {"vertices": [engine.num_vertices + 5]})
+    assert err.value.code == 400
+    assert "vertex ids" in json.load(err.value)["error"]
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _get(f"{base}/nope")
+    assert err.value.code == 404

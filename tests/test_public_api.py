@@ -39,6 +39,7 @@ def test_all_subpackages_import():
     import repro.partition
     import repro.perf
     import repro.sampling
+    import repro.serving
 
     for pkg in (
         repro.graph,
@@ -50,10 +51,35 @@ def test_all_subpackages_import():
         repro.core,
         repro.perf,
         repro.sampling,
+        repro.serving,
     ):
         assert pkg.__doc__, f"{pkg.__name__} missing package docstring"
         for name in getattr(pkg, "__all__", []):
             assert hasattr(pkg, name), f"{pkg.__name__}.{name} missing"
+
+
+def test_core_exports_checkpointing():
+    """Satellite of PR 3: checkpoint helpers are part of the core API."""
+    from repro.core import load_checkpoint, peek_checkpoint, save_checkpoint
+    from repro.nn import GraphSAGE
+
+    assert callable(save_checkpoint) and callable(load_checkpoint)
+    import tempfile, os
+
+    model = GraphSAGE(4, 8, 2, seed=0)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "api.npz")
+        save_checkpoint(path, model, epoch=5)
+        assert peek_checkpoint(path)[0] == 5
+        epoch, _ = load_checkpoint(path, GraphSAGE(4, 8, 2, seed=1))
+        assert epoch == 5
+
+
+def test_serving_public_surface():
+    from repro.serving import InferenceEngine, PredictionService
+
+    assert callable(InferenceEngine.from_checkpoint)
+    assert hasattr(PredictionService, "predict")
 
 
 def test_nn_exports_all_models():
