@@ -9,6 +9,12 @@ For every ``(graph, kernel, ⊗, ⊕)`` combination the harness also checks
 the output against ``aggregate_baseline`` (atol 1e-6, float64 features),
 so a kernel can never get faster by getting wrong.
 
+The payload additionally carries a **thread-scaling series**
+(``thread_scaling``): the parallel execution engine timed at 1/2/4/8
+threads for each chunking policy on the largest graph — the measured
+counterpart of the paper's Fig. 4 scheduling comparison.  Every threaded
+run is asserted bit-identical to the single-threaded engine first.
+
 Usage::
 
     python benchmarks/bench_kernel_engine.py            # full baseline
@@ -40,8 +46,20 @@ from repro.graph.generators import rmat_graph
 from repro.kernels import KERNELS, aggregate
 
 #: Kernels timed per operator combination ("reference" is O(E) Python —
-#: far too slow beyond toy scale and already covered by the test suite).
+#: far too slow beyond toy scale and already covered by the test suite;
+#: "parallel" is timed separately in the thread-scaling series).
 BENCH_KERNELS = ("baseline", "vectorized", "reordered", "blocked")
+
+#: Thread counts of the scaling series (acceptance: 1/2/4/8 recorded for
+#: at least two operator pairs).
+THREAD_SERIES = (1, 2, 4, 8)
+
+#: Chunking policies swept per thread count.
+THREAD_SCHEDULES = ("static", "dynamic", "balanced")
+
+#: Operator pairs of the scaling series: the SpMM fast path and a
+#: general gather → ⊗ → reduceat path.
+THREAD_OPERATORS = (("copylhs", "sum"), ("mul", "max"))
 
 #: Operator table swept per graph: the GNN workhorse, the attention
 #: weighting, edge-only copy, and a non-add reducer.
@@ -117,6 +135,65 @@ def bench_graph(name, graph, dim: int, repeats: int, operators) -> list:
     return rows
 
 
+def bench_thread_scaling(name, graph, dim: int, repeats: int) -> list:
+    """Time the parallel engine at each (op pair, threads, schedule).
+
+    ``speedup_vs_1_thread`` compares against the same schedule at one
+    thread, so each policy's scaling curve is self-relative.
+    """
+    rng = np.random.default_rng(0)
+    f_v = rng.standard_normal((graph.num_src, dim)) + 2.0
+    f_e = rng.standard_normal((graph.num_edges, dim)) + 2.0
+    rows = []
+    for binary_op, reduce_op in THREAD_OPERATORS:
+        ref = aggregate(
+            graph, f_v, f_e, binary_op, reduce_op, kernel="vectorized"
+        )
+        base_by_schedule = {}
+        for num_threads in THREAD_SERIES:
+            for schedule in THREAD_SCHEDULES:
+                out = aggregate(
+                    graph, f_v, f_e, binary_op, reduce_op,
+                    kernel="parallel", num_threads=num_threads,
+                    schedule=schedule,
+                )
+                if not np.array_equal(out, ref):
+                    raise AssertionError(
+                        f"parallel diverges from vectorized on {name} "
+                        f"{binary_op}/{reduce_op} nt={num_threads} "
+                        f"schedule={schedule}"
+                    )
+                seconds = _time(
+                    lambda: aggregate(
+                        graph, f_v, f_e, binary_op, reduce_op,
+                        kernel="parallel", num_threads=num_threads,
+                        schedule=schedule,
+                    ),
+                    repeats,
+                )
+                if num_threads == 1:
+                    base_by_schedule[schedule] = seconds
+                base_s = base_by_schedule[schedule]
+                rows.append(
+                    {
+                        "graph": name,
+                        "kernel": "parallel",
+                        "binary_op": binary_op,
+                        "reduce_op": reduce_op,
+                        "num_threads": num_threads,
+                        "schedule": schedule,
+                        "seconds": seconds,
+                        "edges_per_s": (
+                            graph.num_edges / seconds if seconds else 0.0
+                        ),
+                        "speedup_vs_1_thread": (
+                            base_s / seconds if seconds else 0.0
+                        ),
+                    }
+                )
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -138,7 +215,14 @@ def main(argv=None) -> int:
         print(f"benchmarking {name}: |V|={graph.num_vertices} |E|={graph.num_edges}")
         results.extend(bench_graph(name, graph, dim, repeats, operators))
 
-    largest = graphs[-1][0]
+    largest_name, largest_graph = graphs[-1]
+    print(
+        f"thread scaling on {largest_name}: "
+        f"{THREAD_SERIES} threads x {THREAD_SCHEDULES}"
+    )
+    thread_scaling = bench_thread_scaling(largest_name, largest_graph, dim, repeats)
+
+    largest = largest_name
     headline = {
         r["reduce_op"]: r["speedup_vs_baseline"]
         for r in results
@@ -155,6 +239,9 @@ def main(argv=None) -> int:
             "smoke": args.smoke,
             "operator_table": [list(op) for op in operators],
             "kernels": list(BENCH_KERNELS),
+            "thread_series": list(THREAD_SERIES),
+            "thread_schedules": list(THREAD_SCHEDULES),
+            "thread_operators": [list(op) for op in THREAD_OPERATORS],
         },
         "graphs": [
             {
@@ -166,6 +253,7 @@ def main(argv=None) -> int:
             for name, g in graphs
         ],
         "results": results,
+        "thread_scaling": thread_scaling,
         "summary": {
             "largest_graph": largest,
             "vectorized_speedup_copylhs_sum": headline.get("sum", 0.0),
@@ -193,6 +281,26 @@ def main(argv=None) -> int:
                     r["speedup_vs_baseline"],
                 ]
                 for r in results
+            ],
+        ),
+    )
+    emit(
+        "kernel_thread_scaling",
+        table(
+            ["graph", "op", "reduce", "threads", "schedule", "sec",
+             "Medges/s", "vs 1 thread"],
+            [
+                [
+                    r["graph"],
+                    r["binary_op"],
+                    r["reduce_op"],
+                    r["num_threads"],
+                    r["schedule"],
+                    r["seconds"],
+                    r["edges_per_s"] / 1e6,
+                    r["speedup_vs_1_thread"],
+                ]
+                for r in thread_scaling
             ],
         ),
     )

@@ -54,6 +54,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="distributed execution backend: in-process lockstep simulator "
         "or one OS process per rank over shared memory (partitions > 1)",
     )
+    p_train.add_argument(
+        "--num-threads", type=int, default=None,
+        help="kernel worker threads: > 1 runs every aggregation on the "
+        "parallel execution engine (bit-identical results)",
+    )
     p_train.add_argument("--checkpoint", default=None, help="save final state here")
     p_train.add_argument(
         "--resume", default=None, metavar="CKPT",
@@ -79,6 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated vertex ids, e.g. 0,17,42",
     )
     p_pred.add_argument("--k", type=int, default=3, help="top-k classes to print")
+    p_pred.add_argument(
+        "--num-threads", type=int, default=None,
+        help="worker threads for the precompute pass",
+    )
 
     p_serve = sub.add_parser("serve", help="HTTP prediction service")
     _dataset_args(p_serve)
@@ -97,6 +106,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-wait-ms", type=float, default=2.0,
         help="micro-batcher window: how long the first request of a "
         "batch is held open for followers",
+    )
+    p_serve.add_argument(
+        "--num-threads", type=int, default=None,
+        help="worker threads for precompute and refresh passes",
     )
     return parser
 
@@ -166,6 +179,7 @@ def cmd_train(args) -> int:
         seed=args.seed,
         compression=args.compression,
         backend=args.backend,
+        num_threads=args.num_threads,
     ).for_dataset(ds.name)
     if args.partitions <= 1:
         trainer = Trainer(ds, cfg)
@@ -227,7 +241,9 @@ def cmd_predict(args) -> int:
     except ValueError:
         print(f"error: bad --vertices {args.vertices!r}", file=sys.stderr)
         return 2
-    engine = InferenceEngine.from_checkpoint(args.checkpoint, ds)
+    engine = InferenceEngine.from_checkpoint(
+        args.checkpoint, ds, num_threads=args.num_threads
+    )
     engine.precompute()
     classes, scores = engine.topk(vertices, k=args.k)
     labels = engine.predict_labels(vertices)
@@ -241,7 +257,9 @@ def cmd_serve(args) -> int:  # pragma: no cover - interactive loop
     from repro.serving import InferenceEngine, PredictionServer, PredictionService, ResultCache
 
     ds = _load(args)
-    engine = InferenceEngine.from_checkpoint(args.checkpoint, ds)
+    engine = InferenceEngine.from_checkpoint(
+        args.checkpoint, ds, num_threads=args.num_threads
+    )
     engine.precompute()
     service = PredictionService(
         engine,

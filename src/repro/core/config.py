@@ -32,6 +32,11 @@ class TrainConfig:
     #: segment-reduce engine (bucketed above the cache threshold).
     #: Validated at model build time.
     kernel: str = "auto"
+    #: kernel worker threads: > 1 routes every AP (forward and backward)
+    #: through the parallel execution engine (disjoint destination-row
+    #: chunks, bit-identical outputs — see kernels/parallel.py).  ``None``
+    #: defers to the REPRO_NUM_THREADS environment variable, else 1.
+    num_threads: Optional[int] = None
     #: cd-r delay (epochs); the paper uses r=5.
     delay: int = 5
     #: evaluate accuracy every k epochs (0 = only at the end).

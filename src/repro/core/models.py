@@ -35,6 +35,7 @@ def build_model(cfg: TrainConfig, feature_dim: int, num_classes: int):
             dropout=cfg.dropout,
             seed=cfg.seed,
             kernel=cfg.kernel,
+            num_threads=cfg.num_threads,
         )
     if name == "gcn":
         return GCN(
@@ -44,6 +45,7 @@ def build_model(cfg: TrainConfig, feature_dim: int, num_classes: int):
             num_layers=cfg.num_layers,
             seed=cfg.seed,
             kernel=cfg.kernel,
+            num_threads=cfg.num_threads,
         )
     raise ValueError(f"unknown model {cfg.model!r}; available: {MODEL_NAMES}")
 

@@ -9,7 +9,11 @@ rows) and produces the Total/AP time split of Fig. 2.
 Every forward and backward AP of the model rides
 ``TrainConfig.kernel`` (default ``"auto"`` → the vectorized
 segment-reduce engine; see ``docs/ARCHITECTURE.md``), so epoch times
-measure memory behaviour, not interpreter overhead.
+measure memory behaviour, not interpreter overhead.  Setting
+``TrainConfig.num_threads > 1`` (or ``REPRO_NUM_THREADS``) runs every
+one of those APs on the parallel execution engine — the paper's
+destination-dimension OpenMP parallelization — with bit-identical
+losses and parameters.
 """
 
 from __future__ import annotations

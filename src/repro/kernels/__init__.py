@@ -16,12 +16,16 @@ Kernel taxonomy (mirrors the paper's optimization ladder, Fig. 4):
   each per-block pass runs through the vectorized engine.
 - :mod:`repro.kernels.reordered` — Alg. 3, loop reordering: cache-sized
   destination buckets over the vectorized engine.
+- :mod:`repro.kernels.parallel` — the thread-pool execution engine:
+  the vectorized inner kernel run over disjoint destination-row chunks
+  with real OpenMP-style static/dynamic/balanced chunking policies
+  (the paper's destination-dimension parallelization).
 - :mod:`repro.kernels.scheduling` — OpenMP static/dynamic scheduling
   simulator used to quantify load imbalance on power-law graphs.
 - :mod:`repro.kernels.spmm` — the public ``aggregate`` dispatch API
   (the role of DGL featgraph's single SpMM template).
-- :mod:`repro.kernels.tuning` — block-count auto-tuner driven by the
-  cache model.
+- :mod:`repro.kernels.tuning` — block-count and chunking-policy
+  auto-tuners driven by the cache and scheduling models.
 """
 
 from repro.kernels.operators import (
@@ -32,9 +36,14 @@ from repro.kernels.operators import (
     get_binary_op,
     get_reduce_op,
 )
+from repro.kernels.parallel import (
+    aggregate_parallel,
+    plan_row_chunks,
+    resolve_num_threads,
+)
 from repro.kernels.spmm import AggregationSpec, KERNELS, aggregate, validate_kernel
 from repro.kernels.scheduling import ScheduleResult, simulate_schedule
-from repro.kernels.tuning import choose_num_blocks
+from repro.kernels.tuning import choose_num_blocks, choose_schedule
 from repro.kernels.vectorized import aggregate_vectorized, segment_pass
 
 __all__ = [
@@ -45,7 +54,10 @@ __all__ = [
     "get_binary_op",
     "get_reduce_op",
     "aggregate",
+    "aggregate_parallel",
     "aggregate_vectorized",
+    "plan_row_chunks",
+    "resolve_num_threads",
     "segment_pass",
     "AggregationSpec",
     "KERNELS",
@@ -53,4 +65,5 @@ __all__ = [
     "simulate_schedule",
     "ScheduleResult",
     "choose_num_blocks",
+    "choose_schedule",
 ]

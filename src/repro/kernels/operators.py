@@ -156,11 +156,18 @@ def finalize_output(
 ) -> np.ndarray:
     """Apply the reducer's one-time post-processing to a finished output.
 
-    - ``max``/``min``: replace untouched identity entries (±inf) with 0.
-      DGL defines the reduction over an empty neighbourhood as 0; leaving
-      ±inf in rows with no in-edges would poison downstream layers.
-    - ``mean``: divide each row by its message count (``counts``, usually
-      the in-degrees); empty rows stay 0.
+    - ``max``/``min``: rows that received no message still hold the ±inf
+      identity; DGL defines the reduction over an empty neighbourhood as
+      0, and leaving ±inf there would poison downstream layers.  With
+      ``counts`` (the per-row message counts, usually in-degrees) exactly
+      the zero-count rows are zeroed, so NaN and ±inf coming from *real*
+      messages propagate untouched.  Without ``counts`` the fallback
+      replaces entries still equal to the identity — correct for empty
+      rows, but unable to distinguish a genuine message reduction that
+      lands on the identity value; callers with graph access should use
+      :func:`finalize_with_graph`.
+    - ``mean``: divide each row by its message count (``counts``);
+      empty rows stay 0.
 
     Kernels call this exactly once per logical aggregation — when they
     allocated the output themselves.  When accumulating into a
@@ -178,7 +185,12 @@ def finalize_output(
         np.true_divide(out, denom, out=out, casting="unsafe")
         return out
     if reduce_op.name in ("max", "min") and not np.isfinite(reduce_op.identity):
-        np.nan_to_num(out, copy=False, posinf=0.0, neginf=0.0)
+        if counts is not None:
+            empty = np.asarray(counts).reshape(-1) == 0
+            if empty.any():
+                out[empty] = 0.0
+        else:
+            np.copyto(out, 0.0, where=out == reduce_op.identity)
     return out
 
 
@@ -186,9 +198,14 @@ def finalize_with_graph(out: np.ndarray, reduce_op: ReduceOp, graph) -> np.ndarr
     """:func:`finalize_output` with the counts taken from ``graph``.
 
     The shared epilogue of every kernel that allocated its own output:
-    ``mean`` needs the destination in-degrees, the other reducers don't.
-    ``graph`` is anything with ``in_degrees()`` (for chained block passes,
-    pass the *original* graph — per-block degrees would under-count).
+    ``mean`` needs the destination in-degrees for the division, and
+    ``max``/``min`` need them to zero exactly the empty rows (so NaN/±inf
+    from real messages survive finalization).  ``graph`` is anything with
+    ``in_degrees()`` (for chained block passes, pass the *original*
+    graph — per-block degrees would under-count).
     """
-    counts = graph.in_degrees() if reduce_op.needs_counts else None
+    needs = reduce_op.needs_counts or (
+        reduce_op.name in ("max", "min") and not np.isfinite(reduce_op.identity)
+    )
+    counts = graph.in_degrees() if needs else None
     return finalize_output(out, reduce_op, counts=counts)

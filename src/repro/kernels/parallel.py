@@ -1,0 +1,328 @@
+"""Multi-threaded kernel execution engine.
+
+The paper's single-socket speedups (Fig. 2/4) come from parallelizing
+the aggregation primitive across *destination* vertices with OpenMP
+static/dynamic scheduling.  :mod:`repro.kernels.scheduling` simulates
+those policies to quantify load imbalance; this module actually runs
+them: the vectorized inner kernel
+(:func:`repro.kernels.vectorized.segment_pass`) is executed over
+disjoint destination-row chunks on a thread pool.
+
+Why this is race-free and bit-identical to the single-threaded engine:
+
+- **Disjoint output rows.**  Every chunk is a contiguous destination-row
+  range ``[lo, hi)``; chunk boundaries align with CSR row boundaries, so
+  two threads never touch the same ``out`` row — no synchronization is
+  needed (the same argument the paper uses for blocking ``f_V`` instead
+  of ``f_O``, Section 4.2).
+- **Row-local arithmetic.**  A row's reduction only ever combines that
+  row's own messages, in CSR storage order, regardless of how rows are
+  grouped into chunks.  The result is therefore *bit-identical* to
+  ``aggregate_vectorized`` for every ``⊗``/``⊕`` pair, any thread count,
+  and any chunking policy — pinned by ``tests/kernels/test_parallel.py``.
+
+NumPy/scipy release the GIL inside their compiled loops (gather, ufunc,
+``reduceat``, CSR SpMM), so plain Python threads give genuine hardware
+parallelism without forking.
+
+Chunking policies (``schedule=``), mirroring the simulator:
+
+- ``static``   — ``num_threads`` equal-*count* contiguous ranges
+  (OpenMP ``schedule(static)``).
+- ``dynamic``  — a work-queue of fixed ``chunk_rows``-sized chunks; idle
+  threads pull the next chunk (OpenMP ``schedule(dynamic, chunk)``).
+- ``balanced`` — ``num_threads`` equal-*work* contiguous ranges, cut at
+  prefix-sum quantiles of :func:`~repro.kernels.scheduling.per_destination_work`
+  (degree-aware static, what dynamic converges to on power-law graphs).
+
+``schedule=None`` asks :func:`repro.kernels.tuning.choose_schedule` to
+pick from the simulated static imbalance of this graph's degree skew.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.kernels.baseline import _feature_dim, _feature_dtype
+from repro.kernels.operators import (
+    finalize_with_graph,
+    get_binary_op,
+    get_reduce_op,
+    init_output,
+)
+from repro.kernels.scheduling import per_destination_work
+from repro.kernels.vectorized import segment_pass
+
+#: Environment override for the default thread count (the CI matrix sets
+#: this to run the kernel suite at 1 and 4 threads).
+ENV_NUM_THREADS = "REPRO_NUM_THREADS"
+
+#: Cap on the implicit (cpu-count) default; explicit requests are uncapped.
+DEFAULT_MAX_THREADS = 8
+
+#: Valid ``schedule=`` names.
+SCHEDULES = ("static", "dynamic", "balanced")
+
+# One lazily-created executor per thread count, shared across calls so a
+# training loop doesn't pay thread spawn cost every aggregation.
+_POOLS: dict = {}
+_POOL_LOCK = threading.Lock()
+
+
+def _get_pool(num_threads: int) -> ThreadPoolExecutor:
+    with _POOL_LOCK:
+        pool = _POOLS.get(num_threads)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=num_threads, thread_name_prefix="repro-ap"
+            )
+            _POOLS[num_threads] = pool
+        return pool
+
+
+def _reset_pools_after_fork() -> None:
+    # A forked child (the shm execution backend) inherits the registry
+    # but not the parent's worker threads; drop the stale executors (and
+    # the possibly-held lock) so the child lazily builds fresh ones.
+    global _POOL_LOCK
+    _POOL_LOCK = threading.Lock()
+    _POOLS.clear()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - posix
+    os.register_at_fork(after_in_child=_reset_pools_after_fork)
+
+
+def requested_num_threads(num_threads: Optional[int] = None) -> Optional[int]:
+    """The *explicitly requested* thread count, or ``None``.
+
+    An explicit ``num_threads`` argument wins; otherwise the
+    ``REPRO_NUM_THREADS`` environment variable.  The ``auto`` kernel
+    heuristic only goes parallel when this returns > 1 — an unconfigured
+    process keeps the single-threaded engine.
+    """
+    if num_threads is not None:
+        n = int(num_threads)
+        if n < 1:
+            raise ValueError(f"num_threads must be >= 1, got {n}")
+        return n
+    env = os.environ.get(ENV_NUM_THREADS)
+    if env:
+        try:
+            n = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{ENV_NUM_THREADS} must be an integer, got {env!r}"
+            ) from None
+        if n < 1:
+            raise ValueError(f"{ENV_NUM_THREADS} must be >= 1, got {n}")
+        return n
+    return None
+
+
+def resolve_num_threads(num_threads: Optional[int] = None) -> int:
+    """Effective thread count for one parallel aggregation.
+
+    Explicit argument, else ``REPRO_NUM_THREADS``, else the machine's
+    CPU count capped at :data:`DEFAULT_MAX_THREADS`.
+    """
+    requested = requested_num_threads(num_threads)
+    if requested is not None:
+        return requested
+    return max(1, min(os.cpu_count() or 1, DEFAULT_MAX_THREADS))
+
+
+def plan_row_chunks(
+    graph: CSRGraph,
+    num_threads: int,
+    schedule: str = "static",
+    chunk_rows: Optional[int] = None,
+    work: Optional[np.ndarray] = None,
+) -> List[Tuple[int, int]]:
+    """Destination-row ranges ``[(lo, hi), ...]`` for one parallel pass.
+
+    The ranges are contiguous, disjoint, cover ``[0, num_vertices)``
+    exactly, and are returned in row order (empty ranges are dropped, so
+    ``num_threads > num_vertices`` is fine).
+
+    Parameters
+    ----------
+    schedule:
+        ``"static"`` / ``"dynamic"`` / ``"balanced"`` (see module docs).
+    chunk_rows:
+        Dynamic policy only: rows per work-queue chunk.  Default sizes
+        chunks so each thread sees ~8 of them — enough queue depth to
+        rebalance, coarse enough to amortize dispatch.
+    work:
+        Balanced policy only: per-destination work array; defaults to
+        :func:`~repro.kernels.scheduling.per_destination_work` (in-degree).
+    """
+    if schedule not in SCHEDULES:
+        raise ValueError(
+            f"unknown schedule {schedule!r}; available: {list(SCHEDULES)}"
+        )
+    if num_threads < 1:
+        raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+    n = graph.num_vertices
+    if n == 0:
+        return []
+    if schedule == "dynamic":
+        step = (
+            max(int(chunk_rows), 1)
+            if chunk_rows is not None
+            else max(1, -(-n // (num_threads * 8)))
+        )
+        bounds = np.arange(0, n + step, step, dtype=np.int64)
+        bounds[-1] = n
+    elif schedule == "balanced":
+        if work is None:
+            work = per_destination_work(graph)
+        cum = np.cumsum(np.asarray(work, dtype=np.float64))
+        total = cum[-1] if cum.size else 0.0
+        if total <= 0.0:  # no edges: fall back to equal-count ranges
+            bounds = np.linspace(0, n, num_threads + 1).astype(np.int64)
+        else:
+            # Cut after the row whose prefix sum reaches the k-th work
+            # quantile (side="right"): a single hub row heavier than a
+            # whole quantile becomes its own range instead of dragging
+            # the following rows into it.
+            targets = total * np.arange(1, num_threads) / num_threads
+            cuts = np.searchsorted(cum, targets, side="right")
+            bounds = np.concatenate(
+                ([0], np.clip(cuts, 0, n), [n])
+            ).astype(np.int64)
+    else:  # static
+        bounds = np.linspace(0, n, num_threads + 1).astype(np.int64)
+    return [
+        (int(lo), int(hi))
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+        if hi > lo
+    ]
+
+
+def _cached_plan(
+    graph: CSRGraph,
+    num_threads: int,
+    schedule: Optional[str],
+    chunk_rows: Optional[int],
+) -> List[Tuple[int, int]]:
+    """Chunk plan for ``graph``, cached on the graph instance.
+
+    The plan (and the ``schedule=None`` policy choice feeding it) is a
+    pure function of the immutable graph plus the call parameters, but
+    costs an O(V) work-distribution pass — too much to repay on every
+    forward/backward AP of every epoch.  Cached like ``_spmm_reverse``
+    in :mod:`repro.nn.functional`; a racing duplicate computation is
+    harmless (identical value).
+    """
+    key = (num_threads, schedule, chunk_rows)
+    cache = getattr(graph, "_parallel_plans", None)
+    if cache is None:
+        cache = {}
+        object.__setattr__(graph, "_parallel_plans", cache)
+    plan = cache.get(key)
+    if plan is None:
+        resolved = schedule
+        if resolved is None:
+            from repro.kernels.tuning import choose_schedule
+
+            resolved = choose_schedule(graph, num_threads)
+        plan = plan_row_chunks(graph, num_threads, resolved, chunk_rows=chunk_rows)
+        cache[key] = plan
+    return plan
+
+
+def _spmm_rows(
+    graph: CSRGraph, f_v: np.ndarray, out: np.ndarray, row_lo: int, row_hi: int
+) -> None:
+    """``out[lo:hi] += A[lo:hi] @ f_V`` via scipy's compiled CSR kernel.
+
+    The row-sliced analogue of the vectorized engine's SpMM fast path:
+    per-row accumulation order equals the full-matrix product's, so the
+    chunked result is bit-identical to the unchunked one.
+    """
+    import scipy.sparse as sp
+
+    indptr = graph.indptr
+    elo, ehi = int(indptr[row_lo]), int(indptr[row_hi])
+    sub = sp.csr_matrix(
+        (
+            np.ones(ehi - elo, dtype=np.float64),
+            graph.indices[elo:ehi],
+            indptr[row_lo : row_hi + 1] - elo,
+        ),
+        shape=(row_hi - row_lo, graph.num_src),
+    )
+    out[row_lo:row_hi] += sub @ f_v
+
+
+def aggregate_parallel(
+    graph: CSRGraph,
+    f_v: Optional[np.ndarray],
+    f_e: Optional[np.ndarray] = None,
+    binary_op="copylhs",
+    reduce_op="sum",
+    out: Optional[np.ndarray] = None,
+    num_threads: Optional[int] = None,
+    schedule: Optional[str] = None,
+    chunk_rows: Optional[int] = None,
+) -> np.ndarray:
+    """Thread-parallel AP: ``f_O[v] = ⊕_u (f_V[u] ⊗ f_E[e_uv])``.
+
+    Semantics are identical to
+    :func:`~repro.kernels.vectorized.aggregate_vectorized` — including
+    the ``out=`` accumulate-without-finalize contract and the single
+    :func:`~repro.kernels.operators.finalize_with_graph` epilogue — and
+    the output is bit-identical for every operator pair; only wall-clock
+    differs.
+
+    Parameters
+    ----------
+    num_threads:
+        Worker count; ``None`` resolves via :func:`resolve_num_threads`
+        (explicit arg > ``REPRO_NUM_THREADS`` > capped cpu count).
+    schedule:
+        Chunking policy (``"static"`` / ``"dynamic"`` / ``"balanced"``);
+        ``None`` lets :func:`repro.kernels.tuning.choose_schedule` pick
+        from the graph's simulated static imbalance.
+    chunk_rows:
+        Dynamic policy chunk size (rows); see :func:`plan_row_chunks`.
+    """
+    bop = get_binary_op(binary_op)
+    rop = get_reduce_op(reduce_op)
+    nt = resolve_num_threads(num_threads)
+    chunks = _cached_plan(graph, nt, schedule, chunk_rows)
+    dim = _feature_dim(f_v, f_e)
+    dtype = _feature_dtype(f_v, f_e)
+    created = out is None
+    if created:
+        out = init_output(graph.num_vertices, dim, rop, dtype)
+
+    if bop.name == "copylhs" and rop.ufunc is np.add:
+
+        def run(lo: int, hi: int) -> None:
+            _spmm_rows(graph, f_v, out, lo, hi)
+
+    else:
+
+        def run(lo: int, hi: int) -> None:
+            segment_pass(graph, f_v, f_e, bop, rop, out, lo, hi)
+
+    if nt == 1 or len(chunks) <= 1:
+        for lo, hi in chunks:
+            run(lo, hi)
+    else:
+        pool = _get_pool(nt)
+        futures = [pool.submit(run, lo, hi) for lo, hi in chunks]
+        for future in futures:
+            future.result()  # re-raises worker exceptions
+
+    if created:
+        finalize_with_graph(out, rop, graph)
+    return out

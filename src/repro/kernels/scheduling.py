@@ -12,7 +12,11 @@ distribution (in-degree × feature dim):
   (list-scheduling), which is exactly OpenMP ``schedule(dynamic, chunk)``.
 
 The resulting *imbalance factor* (makespan ÷ ideal) feeds the single-socket
-performance model used by the Fig. 4 benchmark.
+performance model used by the Fig. 4 benchmark.  The policies are not
+just simulated: :mod:`repro.kernels.parallel` executes them for real on
+a thread pool (``kernel="parallel"``), and
+:func:`repro.kernels.tuning.choose_schedule` uses this simulator to pick
+its chunking policy.
 """
 
 from __future__ import annotations
@@ -78,18 +82,16 @@ def simulate_schedule(
         return ScheduleResult(policy, num_threads, chunk, 0.0, 0.0)
 
     if policy == "static":
+        # Slice-sum per range rather than reduceat: when num_threads >
+        # work.size the equal-count split has duplicate (empty) ranges,
+        # which reduceat mis-handles but an empty slice sums correctly.
         splits = np.linspace(0, work.size, num_threads + 1).astype(np.int64)
-        loads = np.add.reduceat(
-            work, splits[:-1].clip(max=work.size - 1)
-        ) if work.size else np.zeros(num_threads)
-        # reduceat mis-handles duplicate split points for tiny inputs; recompute
         loads = np.array(
             [work[splits[t] : splits[t + 1]].sum() for t in range(num_threads)]
         )
         makespan = float(loads.max())
     elif policy == "dynamic":
         chunk = max(int(chunk), 1)
-        n_chunks = -(-work.size // chunk)
         chunk_loads = np.add.reduceat(work, np.arange(0, work.size, chunk))
         # List scheduling: each chunk goes to the earliest-finishing thread.
         heap = [0.0] * num_threads

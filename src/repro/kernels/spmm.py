@@ -16,24 +16,31 @@ import numpy as np
 from repro.graph.csr import CSRGraph
 from repro.kernels.baseline import aggregate_baseline, aggregate_dense_reference
 from repro.kernels.blocked import BlockedGraph, aggregate_blocked
+from repro.kernels.parallel import (
+    SCHEDULES,
+    aggregate_parallel,
+    requested_num_threads,
+)
 from repro.kernels.reordered import aggregate_reordered
 from repro.kernels.vectorized import aggregate_vectorized
 
 
 @dataclass(frozen=True)
 class AggregationSpec:
-    """A fully specified AP instance ``(⊗, ⊕, kernel, nB)``."""
+    """A fully specified AP instance ``(⊗, ⊕, kernel, nB, threads)``."""
 
     binary_op: str = "copylhs"
     reduce_op: str = "sum"
     kernel: str = "auto"
     num_blocks: int = 1
+    num_threads: Optional[int] = None
 
 
 #: kernel name -> callable(graph, f_v, f_e, binary_op, reduce_op, **kw)
 KERNELS: Dict[str, Callable] = {
     "baseline": aggregate_baseline,
     "vectorized": aggregate_vectorized,
+    "parallel": aggregate_parallel,
     "reordered": aggregate_reordered,
     "blocked": aggregate_blocked,
     "reference": aggregate_dense_reference,
@@ -72,6 +79,8 @@ def aggregate(
     reduce_op: str = "sum",
     kernel: str = "auto",
     num_blocks: Optional[int] = None,
+    num_threads: Optional[int] = None,
+    schedule: Optional[str] = None,
     out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Compute the aggregation primitive ``f_O[v] = ⊕_u (f_V[u] ⊗ f_E[e_uv])``.
@@ -92,18 +101,35 @@ def aggregate(
           (:mod:`repro.kernels.vectorized`): one gather → ⊗ → ``reduceat``
           pass over the whole graph, with a scipy SpMM fast path for the
           ``copylhs``/add-accumulating workhorse.
+        - ``"parallel"`` — the same engine over disjoint destination-row
+          chunks on a thread pool (:mod:`repro.kernels.parallel`);
+          bit-identical outputs, ``num_threads``/``schedule`` control the
+          workers and chunking policy.
         - ``"reordered"`` — Alg. 3: the same engine run bucket-by-bucket
           so the per-edge message intermediate stays cache-sized.
         - ``"blocked"`` — Alg. 2 over Alg. 3: source-range blocks, each
           pass through the shared vectorized inner kernel.
         - ``"reference"`` — edge-at-a-time dense reference (test-only).
-        - ``"auto"`` — ``vectorized`` for graphs below
-          ``_AUTO_BLOCK_THRESHOLD`` sources, ``reordered`` (the bucketed
-          engine) above it; ``blocked`` whenever ``num_blocks > 1`` is
-          requested or a pre-built :class:`BlockedGraph` is passed.
+        - ``"auto"`` — ``parallel`` when threads were requested
+          (``num_threads > 1`` or ``REPRO_NUM_THREADS``); otherwise
+          ``vectorized`` for graphs below ``_AUTO_BLOCK_THRESHOLD``
+          sources and ``reordered`` (the bucketed engine) above it;
+          ``blocked`` whenever ``num_blocks > 1`` is requested or a
+          pre-built :class:`BlockedGraph` is passed.
     num_blocks:
         Block count for the blocked kernel; ``None`` lets the auto-tuner
         pick (see :mod:`repro.kernels.tuning`).
+    num_threads:
+        Worker count for the parallel kernel (and the ``auto`` trigger
+        above); ignored by explicitly-named single-threaded kernels.
+        ``None`` falls back to the ``REPRO_NUM_THREADS`` environment
+        variable, then (for an explicit ``kernel="parallel"``) the
+        machine's capped cpu count.
+    schedule:
+        Parallel kernel chunking policy — ``"static"`` / ``"dynamic"`` /
+        ``"balanced"``; ``None`` lets
+        :func:`repro.kernels.tuning.choose_schedule` pick from the
+        graph's simulated load imbalance.
     out:
         Optional ``(num_vertices, d)`` accumulator, identical semantics
         across every kernel except ``"reference"`` (which rejects it):
@@ -119,6 +145,15 @@ def aggregate(
     """
     from repro.kernels.instrumentation import time_ap
 
+    # Validate up front: a typo'd policy or non-positive thread count
+    # must fail even when the resolved kernel ends up single-threaded
+    # and would never consult them.
+    if schedule is not None and schedule not in SCHEDULES:
+        raise ValueError(
+            f"unknown schedule {schedule!r}; available: {list(SCHEDULES)}"
+        )
+    requested_num_threads(num_threads)
+
     if isinstance(graph, BlockedGraph):
         with time_ap():
             return aggregate_blocked(
@@ -126,7 +161,7 @@ def aggregate(
             )
 
     if kernel == "auto":
-        kernel, num_blocks = _auto_select(graph, f_v, f_e, num_blocks)
+        kernel, num_blocks = _auto_select(graph, f_v, f_e, num_blocks, num_threads)
 
     fn = KERNELS.get(kernel)
     if fn is None:
@@ -142,13 +177,19 @@ def aggregate(
 
             num_blocks = choose_num_blocks(graph, _dim_of(f_v, f_e))
         kwargs["num_blocks"] = num_blocks
+    if kernel == "parallel":
+        kwargs["num_threads"] = num_threads
+        kwargs["schedule"] = schedule
     with time_ap():
         return fn(graph, f_v, f_e, **kwargs)
 
 
-def _auto_select(graph, f_v, f_e, num_blocks):
+def _auto_select(graph, f_v, f_e, num_blocks, num_threads=None):
     if num_blocks is not None and num_blocks > 1:
         return "blocked", num_blocks
+    threads = requested_num_threads(num_threads)
+    if threads is not None and threads > 1:
+        return "parallel", num_blocks
     if graph.num_src >= _AUTO_BLOCK_THRESHOLD:
         return "reordered", num_blocks
     return "vectorized", num_blocks

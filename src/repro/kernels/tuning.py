@@ -1,10 +1,16 @@
-"""Block-count auto-tuner.
+"""Kernel auto-tuners: block count and parallel chunking policy.
 
 The paper notes that "finding the best block size is challenging since
 many graphs follow a power law" (Section 4.2) and picks the sweet spot
 where total memory IO is smallest (Fig. 3).  We automate exactly that
 criterion: sweep candidate ``nB`` values through the analytic traffic
 model and return the minimizer.
+
+The same power-law skew drives the thread-scheduling choice (Fig. 4's
+"DS" bar): :func:`choose_schedule` simulates the static equal-count
+split over the real per-destination work distribution and switches the
+parallel engine to degree-aware ``balanced`` chunking when the simulated
+imbalance says static ranges would idle most threads.
 """
 
 from __future__ import annotations
@@ -44,3 +50,33 @@ def choose_num_blocks(
         if traffic.total < best_io:
             best_io, best_nb = traffic.total, nb
     return best_nb
+
+
+#: Simulated static imbalance above which the parallel engine switches
+#: from equal-count to degree-aware (``balanced``) chunking.
+SCHEDULE_IMBALANCE_THRESHOLD = 1.15
+
+
+def choose_schedule(
+    graph: CSRGraph,
+    num_threads: int,
+    imbalance_threshold: float = SCHEDULE_IMBALANCE_THRESHOLD,
+) -> str:
+    """Pick the parallel engine's chunking policy for this graph.
+
+    Runs the OpenMP scheduling simulator's *static* split over the real
+    per-destination work distribution (in-degrees): if the heaviest
+    equal-count range exceeds the ideal makespan by more than
+    ``imbalance_threshold`` (power-law graphs — the paper's
+    OGBN-Products case), degree-aware ``balanced`` ranges are worth the
+    prefix-sum; otherwise plain ``static`` ranges are free and optimal
+    (the Reddit case).  All policies produce bit-identical outputs; only
+    the makespan differs.
+    """
+    if num_threads <= 1:
+        return "static"
+    from repro.kernels.scheduling import per_destination_work, simulate_schedule
+
+    work = per_destination_work(graph)
+    static = simulate_schedule(work, num_threads, policy="static")
+    return "balanced" if static.imbalance > imbalance_threshold else "static"

@@ -166,23 +166,30 @@ def spmm(
     features: Tensor,
     kernel: str = "auto",
     num_blocks: Optional[int] = None,
+    num_threads: Optional[int] = None,
 ) -> Tensor:
     """Differentiable aggregation ``out = A @ features`` (copylhs/sum AP).
 
     ``kernel`` accepts any :data:`repro.kernels.KERNELS` name (``"auto"``
-    picks the vectorized engine or, above the block threshold, the
-    blocked kernel).  Backward applies the transposed adjacency:
-    ``d features = A^T @ g``.  The reversed CSR is cached on the graph
-    object after the first call so training reuses it every epoch.
+    picks the vectorized engine — threaded over destination chunks when
+    ``num_threads > 1`` — or, above the block threshold, the bucketed
+    variant).  Backward applies the transposed adjacency:
+    ``d features = A^T @ g`` on the same kernel and thread count.  The
+    reversed CSR is cached on the graph object after the first call so
+    training reuses it every epoch.
     """
     out = aggregate(
-        graph, features.data, kernel=kernel, num_blocks=num_blocks
+        graph, features.data, kernel=kernel, num_blocks=num_blocks,
+        num_threads=num_threads,
     )
     reverse = _cached_reverse(graph)
 
     def backward(g):
         return (
-            aggregate(reverse, g, kernel=kernel, num_blocks=num_blocks),
+            aggregate(
+                reverse, g, kernel=kernel, num_blocks=num_blocks,
+                num_threads=num_threads,
+            ),
         )
 
     return _make(out, (features,), backward, "spmm")
@@ -268,7 +275,11 @@ def edge_softmax(graph: CSRGraph, logits: Tensor) -> Tensor:
 
 
 def weighted_spmm(
-    graph: CSRGraph, features: Tensor, weights: Tensor, kernel: str = "auto"
+    graph: CSRGraph,
+    features: Tensor,
+    weights: Tensor,
+    kernel: str = "auto",
+    num_threads: Optional[int] = None,
 ) -> Tensor:
     """Attention-weighted aggregation ``out[v] = sum_u w_uv * h_u``.
 
@@ -282,14 +293,14 @@ def weighted_spmm(
     """
     out = aggregate(
         graph, features.data, weights.data, binary_op="mul", reduce_op="sum",
-        kernel=kernel,
+        kernel=kernel, num_threads=num_threads,
     )
     reverse = _cached_reverse(graph)
 
     def backward(g):
         gf = aggregate(
             reverse, g, weights.data, binary_op="mul", reduce_op="sum",
-            kernel=kernel,
+            kernel=kernel, num_threads=num_threads,
         )
         from repro.kernels.sddmm import sddmm
 

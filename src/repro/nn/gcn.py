@@ -39,6 +39,7 @@ class GCNConv(Module):
         activation: bool = True,
         rng: Optional[np.random.Generator] = None,
         kernel: str = "auto",
+        num_threads: Optional[int] = None,
     ):
         super().__init__()
         from repro.kernels import validate_kernel
@@ -46,6 +47,7 @@ class GCNConv(Module):
         self.linear = Linear(in_features, out_features, rng=rng)
         self.activation = activation
         self.kernel = validate_kernel(kernel)
+        self.num_threads = num_threads
 
     def aggregate(self, graph: CSRGraph, h: Tensor, sym_norm: Tensor) -> Tensor:
         """The AP over pre-scaled features: ``z = A @ (h * D^-1/2)``.
@@ -56,7 +58,9 @@ class GCNConv(Module):
         across partitions exactly like GraphSAGE's.
         """
         scaled = F.mul(h, sym_norm)
-        return F.spmm(graph, scaled, kernel=self.kernel)
+        return F.spmm(
+            graph, scaled, kernel=self.kernel, num_threads=self.num_threads
+        )
 
     def combine(self, z: Tensor, h: Tensor, sym_norm: Tensor) -> Tensor:
         """Post-processing: ``act(((z + h * D^-1/2) * D^-1/2) @ W + b)``."""
@@ -82,6 +86,7 @@ class GCN(Module):
         num_layers: int = 2,
         seed: int = 0,
         kernel: str = "auto",
+        num_threads: Optional[int] = None,
     ):
         super().__init__()
         if num_layers < 1:
@@ -96,6 +101,7 @@ class GCN(Module):
                 activation=(i < num_layers - 1),
                 rng=rng,
                 kernel=kernel,
+                num_threads=num_threads,
             )
             self.register_module(f"layer{i}", layer)
             self.layers.append(layer)

@@ -41,6 +41,7 @@ class SageConvGCN(Module):
         activation: bool = True,
         rng: Optional[np.random.Generator] = None,
         kernel: str = "auto",
+        num_threads: Optional[int] = None,
     ):
         super().__init__()
         from repro.kernels import validate_kernel
@@ -50,6 +51,9 @@ class SageConvGCN(Module):
         #: aggregation kernel name forwarded to ``F.spmm`` (validated here
         #: so a bad ``TrainConfig.kernel`` fails at model build time).
         self.kernel = validate_kernel(kernel)
+        #: thread count forwarded to ``F.spmm``; > 1 routes the AP through
+        #: the parallel execution engine (bit-identical outputs).
+        self.num_threads = num_threads
 
     def aggregate(
         self, graph: CSRGraph, h: Tensor, norm: Optional[Tensor] = None
@@ -59,7 +63,7 @@ class SageConvGCN(Module):
         :class:`~repro.nn.gcn.GCNConv` (whose scaling precedes the AP)
         and ignored here — GraphSAGE normalizes in :meth:`combine`.
         """
-        return F.spmm(graph, h, kernel=self.kernel)
+        return F.spmm(graph, h, kernel=self.kernel, num_threads=self.num_threads)
 
     def combine(self, z: Tensor, h: Tensor, norm: Tensor) -> Tensor:
         """Post-processing: ``act(((z + h) * norm) @ W + b)``."""
@@ -85,6 +89,7 @@ class GraphSAGE(Module):
         dropout: float = 0.0,
         seed: int = 0,
         kernel: str = "auto",
+        num_threads: Optional[int] = None,
     ):
         super().__init__()
         if num_layers < 1:
@@ -103,6 +108,7 @@ class GraphSAGE(Module):
                 activation=(i < num_layers - 1),
                 rng=rng,
                 kernel=kernel,
+                num_threads=num_threads,
             )
             self.register_module(f"layer{i}", layer)
             self.layers.append(layer)

@@ -20,7 +20,16 @@ from repro.graph.csr import INDEX_DTYPE
 
 
 class ResultCache:
-    """Thread-safe LRU mapping vertex id -> result row (logits)."""
+    """Thread-safe LRU mapping vertex id -> result row (logits).
+
+    Rows are **copied on insert** and the stored copy is marked
+    non-writeable: the cache never aliases caller memory (inserting the
+    row views of a batch matrix would otherwise pin the whole matrix
+    alive, and a caller mutating its array after ``put`` would corrupt
+    the cached logits), and ``get``/``get_many`` hand back the read-only
+    stored row — mutation attempts raise instead of silently poisoning
+    later hits.
+    """
 
     def __init__(self, capacity: int):
         if capacity < 1:
@@ -32,7 +41,14 @@ class ResultCache:
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._rows)
+        with self._lock:
+            return len(self._rows)
+
+    @staticmethod
+    def _frozen_copy(row: np.ndarray) -> np.ndarray:
+        copy = np.array(row, copy=True)
+        copy.setflags(write=False)
+        return copy
 
     # -- single-key ---------------------------------------------------------------
 
@@ -47,6 +63,7 @@ class ResultCache:
             return row
 
     def put(self, vertex_id: int, row: np.ndarray) -> None:
+        row = self._frozen_copy(row)
         with self._lock:
             self._put_locked(int(vertex_id), row)
 
@@ -88,19 +105,24 @@ class ResultCache:
         ids = np.asarray(vertex_ids, dtype=INDEX_DTYPE)
         if len(rows) != ids.size:
             raise ValueError("rows must align with vertex_ids")
+        frozen = [self._frozen_copy(row) for row in rows]
         with self._lock:
-            for key, row in zip(ids.tolist(), rows):
+            for key, row in zip(ids.tolist(), frozen):
                 self._put_locked(key, row)
 
     # -- introspection --------------------------------------------------------------
 
     @property
     def accesses(self) -> int:
-        return self.hits + self.misses
+        with self._lock:
+            return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.accesses if self.accesses else 0.0
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        accesses = hits + misses
+        return hits / accesses if accesses else 0.0
 
     def reset(self) -> None:
         with self._lock:
@@ -109,10 +131,15 @@ class ResultCache:
             self.misses = 0
 
     def stats(self) -> dict:
+        # One consistent snapshot: size and the counters are read under
+        # the lock so a concurrent put/get can't skew the reported rate.
+        with self._lock:
+            hits, misses, size = self.hits, self.misses, len(self._rows)
+        accesses = hits + misses
         return {
             "capacity": self.capacity,
-            "size": len(self._rows),
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hit_rate,
+            "size": size,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / accesses if accesses else 0.0,
         }

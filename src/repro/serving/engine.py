@@ -122,6 +122,7 @@ class InferenceEngine:
         model: Module,
         config: Optional[TrainConfig] = None,
         checkpoint_epoch: int = 0,
+        num_threads: Optional[int] = None,
     ):
         self.model_kind = model_kind(model)  # validates the architecture
         self.dataset = dataset
@@ -129,6 +130,19 @@ class InferenceEngine:
         self.graph = dataset.graph
         self.config = config
         self.checkpoint_epoch = int(checkpoint_epoch)
+        #: kernel worker threads for the precompute pass: > 1 runs each
+        #: layer's AP on the parallel execution engine (bit-identical
+        #: embeddings/logits, faster precompute and refresh).  When set,
+        #: the engine takes ownership of the model's kernel threading:
+        #: ``layer.num_threads`` is overwritten *in place* on every layer
+        #: so all engine-driven forwards — full precompute, incremental
+        #: refresh, on-demand fallback — use it.  Don't share one model
+        #: object between engines (or a live trainer) with different
+        #: thread settings; ``from_checkpoint`` builds a private model.
+        self.num_threads = num_threads
+        if num_threads is not None:
+            for layer in model.layers:
+                layer.num_threads = num_threads
         #: engine-owned writable feature matrix (refresh target).
         self.features = np.array(dataset.features, copy=True)
         self.norm = norm_from_degrees(self.model_kind, self.graph.in_degrees())
@@ -149,12 +163,15 @@ class InferenceEngine:
         path: str,
         dataset: Dataset,
         config: Optional[TrainConfig] = None,
+        num_threads: Optional[int] = None,
     ) -> "InferenceEngine":
         """Rebuild the trained model from a ``core.checkpoint`` file.
 
         The architecture comes from the checkpoint's embedded metadata
         (``repro train --checkpoint`` writes it); an explicit ``config``
         overrides it, and the dataset's paper shape is the fallback.
+        ``num_threads`` parallelizes the precompute APs (the serving-tier
+        knob — checkpoints carry architecture, not machine shape).
         """
         epoch, extra = peek_checkpoint(path)
         cfg = config_from_meta(
@@ -162,7 +179,10 @@ class InferenceEngine:
         )
         model = build_model(cfg, dataset.feature_dim, dataset.num_classes)
         load_checkpoint(path, model)
-        return cls(dataset, model, config=cfg, checkpoint_epoch=epoch)
+        return cls(
+            dataset, model, config=cfg, checkpoint_epoch=epoch,
+            num_threads=num_threads,
+        )
 
     # -- offline precompute ------------------------------------------------------
 
@@ -226,5 +246,6 @@ class InferenceEngine:
             "num_vertices": self.num_vertices,
             "checkpoint_epoch": self.checkpoint_epoch,
             "num_precomputes": self.num_precomputes,
+            "num_threads": self.num_threads,
             "ready": self.logits is not None,
         }

@@ -58,6 +58,24 @@ class TestSingleSocket:
         assert res.epochs[1].test_acc is None
         assert res.epochs[2].test_acc is not None
 
+    def test_num_threads_training_is_bit_identical(self, reddit_mini):
+        """Every AP riding the parallel engine changes nothing numeric:
+        losses and final parameters match the single-threaded run bit
+        for bit."""
+        base = Trainer(reddit_mini, CFG).fit(num_epochs=4)
+        cfg = TrainConfig(**{**vars(CFG), "num_threads": 2})
+        threaded_trainer = Trainer(reddit_mini, cfg)
+        assert threaded_trainer.model.layers[0].num_threads == 2
+        threaded = threaded_trainer.fit(num_epochs=4)
+        assert base.loss_curve() == threaded.loss_curve()
+        ref_params = Trainer(reddit_mini, CFG)
+        ref_params.fit(num_epochs=4)
+        for (name, p), (_, q) in zip(
+            ref_params.model.named_parameters(),
+            threaded_trainer.model.named_parameters(),
+        ):
+            assert np.array_equal(p.data, q.data), name
+
     def test_deterministic(self, reddit_mini):
         r1 = Trainer(reddit_mini, CFG).fit(num_epochs=5)
         r2 = Trainer(reddit_mini, CFG).fit(num_epochs=5)

@@ -108,6 +108,23 @@ def test_vectorized_identity_handling(line_graph, reduce_op):
     assert np.array_equal(out[0], np.zeros(2))
 
 
+@pytest.mark.parametrize("fn", [aggregate_baseline, aggregate_vectorized])
+@pytest.mark.parametrize("reduce_op", ["max", "min"])
+def test_nan_inf_messages_survive_finalization(line_graph, fn, reduce_op):
+    """Regression: finalization used nan_to_num, which replaced NaN with
+    0 and clobbered legitimate ±inf from real messages.  On the chain
+    0 -> 1 -> 2 -> 3 only the empty row 0 may be zeroed."""
+    f_v = np.ones((4, 2))
+    f_v[0, 0] = np.nan     # message into vertex 1
+    f_v[1, 1] = np.inf     # message into vertex 2
+    f_v[2, 0] = -np.inf    # message into vertex 3
+    out = fn(line_graph, f_v, None, "copylhs", reduce_op)
+    assert np.array_equal(out[0], np.zeros(2))  # no in-edges -> DGL-style 0
+    assert np.isnan(out[1, 0]) and out[1, 1] == 1.0
+    assert np.isposinf(out[2, 1]) and out[2, 0] == 1.0
+    assert np.isneginf(out[3, 0]) and out[3, 1] == 1.0
+
+
 @pytest.mark.parametrize("reduce_op", REDUCE)
 def test_vectorized_out_accumulation_contract(small_rmat, reduce_op):
     """Chaining passes into `out` + one finalize == the one-shot result."""

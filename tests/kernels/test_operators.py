@@ -95,6 +95,33 @@ class TestOutputHelpers:
         finalize_output(out, rop)
         assert np.array_equal(out[1], [0.0, 0.0])
 
+    @pytest.mark.parametrize("name", ["max", "min"])
+    def test_finalize_with_counts_zeroes_only_empty_rows(self, name):
+        """Only zero-count rows get the DGL-style 0; NaN and ±inf coming
+        from real messages must survive finalization."""
+        rop = get_reduce_op(name)
+        out = init_output(4, 2, rop, np.float64)
+        out[0] = [np.nan, 7.0]        # NaN message reduced into a real row
+        out[1] = [np.inf, -np.inf]    # legitimate infinities
+        out[2] = [3.0, rop.identity]  # real row that landed on the identity
+        # row 3 untouched: still the identity, count 0
+        finalize_output(out, rop, counts=np.array([2, 1, 1, 0]))
+        assert np.isnan(out[0, 0]) and out[0, 1] == 7.0
+        assert np.isposinf(out[1, 0]) and np.isneginf(out[1, 1])
+        assert out[2, 0] == 3.0 and out[2, 1] == rop.identity
+        assert np.array_equal(out[3], [0.0, 0.0])
+
+    def test_finalize_without_counts_preserves_nan(self):
+        """The counts-less fallback only rewrites exact identity entries —
+        NaN and opposite-sign inf propagate (the old nan_to_num clobbered
+        both to 0)."""
+        rop = get_reduce_op("max")
+        out = init_output(2, 2, rop, np.float64)
+        out[0] = [np.nan, np.inf]
+        finalize_output(out, rop)
+        assert np.isnan(out[0, 0]) and np.isposinf(out[0, 1])
+        assert np.array_equal(out[1], [0.0, 0.0])
+
     def test_finalize_noop_for_sum(self):
         rop = get_reduce_op("sum")
         out = init_output(2, 2, rop, np.float64)

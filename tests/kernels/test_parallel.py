@@ -1,0 +1,272 @@
+"""Thread-pool execution engine: bit-identity with the vectorized
+engine across the full operator table, thread counts, and chunking
+policies — the core contract that lets ``kernel="parallel"`` replace the
+single-threaded engine anywhere without changing a single bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.builders import coo_to_csr, from_edge_list
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat_graph
+from repro.kernels import aggregate
+from repro.kernels.operators import finalize_output, get_reduce_op, init_output
+from repro.kernels.parallel import (
+    aggregate_parallel,
+    plan_row_chunks,
+    resolve_num_threads,
+)
+from repro.kernels.vectorized import aggregate_vectorized
+
+BINARY = ["add", "sub", "mul", "div", "copylhs", "copyrhs"]
+REDUCE = ["sum", "max", "min", "mean"]
+SCHEDULES = ["static", "dynamic", "balanced"]
+
+
+@pytest.fixture
+def skewed_graph() -> CSRGraph:
+    """Power-law graph small enough for the full operator sweep."""
+    return rmat_graph(scale=6, edge_factor=8.0, seed=5)
+
+
+def _features(graph, dim=5, seed=0):
+    rng = np.random.default_rng(seed)
+    f_v = rng.standard_normal((graph.num_src, dim)) + 2.0  # avoid div-by-0
+    f_e = rng.standard_normal((graph.num_edges, dim)) + 2.0
+    return f_v, f_e
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("binary_op", BINARY)
+    @pytest.mark.parametrize("reduce_op", REDUCE)
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    def test_all_op_pairs(self, skewed_graph, binary_op, reduce_op, schedule):
+        f_v, f_e = _features(skewed_graph)
+        ref = aggregate_vectorized(skewed_graph, f_v, f_e, binary_op, reduce_op)
+        out = aggregate_parallel(
+            skewed_graph, f_v, f_e, binary_op, reduce_op,
+            num_threads=4, schedule=schedule,
+        )
+        assert np.array_equal(out, ref)
+
+    @pytest.mark.parametrize("num_threads", [1, 2, 4])
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    @pytest.mark.parametrize(
+        "binary_op,reduce_op", [("copylhs", "sum"), ("mul", "max")]
+    )
+    def test_thread_counts(
+        self, small_rmat, num_threads, schedule, binary_op, reduce_op
+    ):
+        f_v, f_e = _features(small_rmat)
+        ref = aggregate_vectorized(small_rmat, f_v, f_e, binary_op, reduce_op)
+        out = aggregate_parallel(
+            small_rmat, f_v, f_e, binary_op, reduce_op,
+            num_threads=num_threads, schedule=schedule,
+        )
+        assert np.array_equal(out, ref)
+
+    @pytest.mark.parametrize("reduce_op", REDUCE)
+    def test_empty_rows(self, line_graph, reduce_op):
+        """Vertices with no in-edges finalize to 0 on every policy."""
+        f_v, _ = _features(line_graph, dim=3)
+        ref = aggregate_vectorized(line_graph, f_v, None, "copylhs", reduce_op)
+        for schedule in SCHEDULES:
+            out = aggregate_parallel(
+                line_graph, f_v, None, "copylhs", reduce_op,
+                num_threads=4, schedule=schedule,
+            )
+            assert np.array_equal(out, ref)
+            assert np.array_equal(out[0], np.zeros(3))  # vertex 0: no in-edges
+
+    @pytest.mark.parametrize("reduce_op", REDUCE)
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    def test_zero_vertex_graph(self, reduce_op, schedule):
+        g = CSRGraph(indptr=np.array([0]), indices=np.array([], dtype=np.int64))
+        out = aggregate_parallel(
+            g, np.zeros((0, 3)), None, "copylhs", reduce_op,
+            num_threads=4, schedule=schedule,
+        )
+        assert out.shape == (0, 3)
+
+    def test_single_vertex_graph(self):
+        g = coo_to_csr(
+            np.zeros(3, dtype=np.int64), np.zeros(3, dtype=np.int64),
+            num_dst=1, num_src=1,
+        )
+        f_v = np.array([[3.0, -1.0]])
+        f_e = np.arange(6, dtype=np.float64).reshape(3, 2)
+        ref = aggregate_vectorized(g, f_v, f_e, "add", "max")
+        out = aggregate_parallel(g, f_v, f_e, "add", "max", num_threads=8)
+        assert np.array_equal(out, ref)
+
+    def test_more_threads_than_rows(self, tiny_graph):
+        f_v, f_e = _features(tiny_graph)
+        ref = aggregate_vectorized(tiny_graph, f_v, f_e, "mul", "sum")
+        for schedule in SCHEDULES:
+            out = aggregate_parallel(
+                tiny_graph, f_v, f_e, "mul", "sum",
+                num_threads=16, schedule=schedule,
+            )
+            assert np.array_equal(out, ref)
+
+    def test_determinism_across_runs(self, small_rmat):
+        """Repeated parallel runs are bit-for-bit reproducible (disjoint
+        rows: no cross-thread accumulation order to vary)."""
+        f_v, f_e = _features(small_rmat)
+        runs = [
+            aggregate_parallel(
+                small_rmat, f_v, f_e, "add", "sum",
+                num_threads=4, schedule="dynamic", chunk_rows=7,
+            )
+            for _ in range(5)
+        ]
+        for other in runs[1:]:
+            assert np.array_equal(runs[0], other)
+
+    def test_noncontiguous_edge_ids(self):
+        """The edge-feature gather path (permuted edge ids) agrees too."""
+        rng = np.random.default_rng(3)
+        src = rng.integers(0, 32, size=200)
+        dst = rng.integers(0, 32, size=200)
+        eids = rng.permutation(200)
+        g = coo_to_csr(src, dst, num_dst=32, num_src=32, edge_ids=eids)
+        f_v, f_e = _features(g)
+        for binary_op, reduce_op in [("copyrhs", "sum"), ("mul", "min")]:
+            ref = aggregate_vectorized(g, f_v, f_e, binary_op, reduce_op)
+            out = aggregate_parallel(
+                g, f_v, f_e, binary_op, reduce_op, num_threads=3
+            )
+            assert np.array_equal(out, ref)
+
+
+class TestOutContract:
+    @pytest.mark.parametrize("reduce_op", REDUCE)
+    def test_accumulate_without_finalize(self, small_rmat, reduce_op):
+        """Chained partial passes into `out` + one finalize == one-shot."""
+        f_v, f_e = _features(small_rmat)
+        rop = get_reduce_op(reduce_op)
+        expected = aggregate_parallel(
+            small_rmat, f_v, f_e, "mul", reduce_op, num_threads=4
+        )
+        out = init_output(small_rmat.num_vertices, f_v.shape[1], rop, f_v.dtype)
+        mid = small_rmat.num_src // 2
+        for lo, hi in ((0, mid), (mid, small_rmat.num_src)):
+            block = small_rmat.source_block(lo, hi)
+            aggregate_parallel(
+                block, f_v, f_e, "mul", reduce_op, out=out, num_threads=4
+            )
+        counts = small_rmat.in_degrees()
+        finalize_output(out, rop, counts=counts)
+        np.testing.assert_allclose(out, expected, rtol=1e-9, atol=1e-9)
+
+
+class TestPlanning:
+    def test_chunks_cover_rows_disjointly(self, small_rmat):
+        n = small_rmat.num_vertices
+        for schedule in SCHEDULES:
+            chunks = plan_row_chunks(small_rmat, 4, schedule)
+            assert chunks[0][0] == 0 and chunks[-1][1] == n
+            for (_, hi), (lo, _) in zip(chunks[:-1], chunks[1:]):
+                assert hi == lo  # contiguous, disjoint
+            assert all(hi > lo for lo, hi in chunks)
+
+    def test_static_gives_num_threads_ranges(self, small_rmat):
+        assert len(plan_row_chunks(small_rmat, 4, "static")) == 4
+
+    def test_dynamic_queue_depth(self, small_rmat):
+        chunks = plan_row_chunks(small_rmat, 4, "dynamic")
+        assert len(chunks) > 4  # more chunks than threads: a real queue
+        sizes = {hi - lo for lo, hi in chunks[:-1]}
+        assert len(sizes) == 1  # fixed-size apart from the tail
+
+    def test_dynamic_respects_chunk_rows(self, small_rmat):
+        chunks = plan_row_chunks(small_rmat, 2, "dynamic", chunk_rows=10)
+        assert all(hi - lo <= 10 for lo, hi in chunks)
+
+    def test_balanced_equalizes_edge_work(self):
+        """One hub row: balanced isolates it, static would lump rows."""
+        edges = [(u, 0) for u in range(1, 64)]  # vertex 0: in-degree 63
+        edges += [(0, v) for v in range(1, 64)]  # everyone else: 1
+        g = from_edge_list(edges, num_vertices=64)
+        chunks = plan_row_chunks(g, 4, "balanced")
+        degrees = g.in_degrees()
+        loads = [degrees[lo:hi].sum() for lo, hi in chunks]
+        # the hub chunk carries the hub only; the rest split the light rows
+        assert max(loads) < degrees.sum()  # static with 4 threads: 63+15=78
+        assert chunks[0] == (0, 1)
+
+    def test_balanced_no_edges_falls_back(self):
+        g = CSRGraph(
+            indptr=np.zeros(9, dtype=np.int64),
+            indices=np.array([], dtype=np.int64),
+            num_src=8,
+        )
+        chunks = plan_row_chunks(g, 4, "balanced")
+        assert chunks[0][0] == 0 and chunks[-1][1] == 8
+
+    def test_plan_cached_on_graph(self, small_rmat):
+        """The chunk plan (an O(V) computation) is built once per
+        (threads, schedule, chunk_rows) and reused across calls."""
+        f_v, _ = _features(small_rmat)
+        aggregate_parallel(small_rmat, f_v, None, num_threads=4, schedule="balanced")
+        plans = small_rmat._parallel_plans
+        key = (4, "balanced", None)
+        first = plans[key]
+        aggregate_parallel(small_rmat, f_v, None, num_threads=4, schedule="balanced")
+        assert small_rmat._parallel_plans[key] is first
+        # schedule=None resolves through choose_schedule and caches too
+        aggregate_parallel(small_rmat, f_v, None, num_threads=4)
+        assert (4, None, None) in plans
+
+    def test_unknown_schedule(self, tiny_graph):
+        with pytest.raises(ValueError, match="schedule"):
+            plan_row_chunks(tiny_graph, 2, "guided")
+        with pytest.raises(ValueError, match="schedule"):
+            aggregate_parallel(
+                tiny_graph, np.ones((5, 2)), None, num_threads=2,
+                schedule="guided",
+            )
+
+    def test_invalid_threads(self, tiny_graph):
+        with pytest.raises(ValueError, match="num_threads"):
+            plan_row_chunks(tiny_graph, 0, "static")
+        with pytest.raises(ValueError, match="num_threads"):
+            aggregate_parallel(tiny_graph, np.ones((5, 2)), None, num_threads=0)
+
+
+class TestThreadResolution:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "2")
+        assert resolve_num_threads(4) == 4
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "3")
+        assert resolve_num_threads(None) == 3
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "lots")
+        with pytest.raises(ValueError, match="REPRO_NUM_THREADS"):
+            resolve_num_threads(None)
+
+    def test_default_is_positive(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NUM_THREADS", raising=False)
+        assert resolve_num_threads(None) >= 1
+
+
+class TestScheduleChoice:
+    def test_skewed_graph_prefers_balanced(self):
+        from repro.kernels.tuning import choose_schedule
+
+        edges = [(u, 0) for u in range(1, 512)]
+        edges += [(0, v) for v in range(1, 512)]
+        hub = from_edge_list(edges, num_vertices=512)
+        assert choose_schedule(hub, 8) == "balanced"
+
+    def test_uniform_graph_prefers_static(self):
+        from repro.graph.generators import sbm_graph
+        from repro.kernels.tuning import choose_schedule
+
+        uniform = sbm_graph([512], p_in=0.05, p_out=0.0, seed=0)
+        assert choose_schedule(uniform, 4) == "static"
+        assert choose_schedule(uniform, 1) == "static"

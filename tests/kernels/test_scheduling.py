@@ -47,6 +47,23 @@ class TestSimulate:
         res = simulate_schedule(np.zeros(0), 4)
         assert res.makespan == 0.0
 
+    def test_static_more_threads_than_items(self):
+        """Regression: the equal-count split has duplicate split points
+        when num_threads > work.size; the makespan must still be the
+        heaviest single item and idle threads contribute zero."""
+        work = np.array([5.0, 3.0])
+        res = simulate_schedule(work, 8, policy="static")
+        assert res.makespan == 5.0
+        assert res.ideal == pytest.approx(work.sum() / 8)
+
+    def test_static_single_item(self):
+        res = simulate_schedule(np.array([2.0]), 4, policy="static")
+        assert res.makespan == 2.0
+
+    def test_dynamic_more_threads_than_chunks(self):
+        res = simulate_schedule(np.array([4.0, 1.0]), 8, policy="dynamic", chunk=1)
+        assert res.makespan == 4.0
+
     def test_invalid_policy(self):
         with pytest.raises(ValueError, match="policy"):
             simulate_schedule(np.ones(4), 2, policy="guided")

@@ -14,12 +14,15 @@ class TestDispatch:
         assert set(KERNELS) == {
             "baseline",
             "vectorized",
+            "parallel",
             "reordered",
             "blocked",
             "reference",
         }
 
-    @pytest.mark.parametrize("kernel", ["baseline", "vectorized", "reordered", "blocked"])
+    @pytest.mark.parametrize(
+        "kernel", ["baseline", "vectorized", "parallel", "reordered", "blocked"]
+    )
     def test_kernels_agree(self, small_rmat, small_features, kernel):
         out = aggregate(small_rmat, small_features, kernel=kernel, num_blocks=2)
         ref = aggregate(small_rmat, small_features, kernel="reference")
@@ -29,6 +32,29 @@ class TestDispatch:
         out = aggregate(small_rmat, small_features, kernel="auto")
         ref = aggregate(small_rmat, small_features, kernel="vectorized")
         np.testing.assert_allclose(out, ref, rtol=1e-6)
+
+    def test_auto_with_threads_is_bit_identical(self, small_rmat, small_features):
+        """auto + num_threads > 1 dispatches the parallel engine, whose
+        output is bit-identical to the single-threaded one."""
+        out = aggregate(small_rmat, small_features, kernel="auto", num_threads=4)
+        ref = aggregate(small_rmat, small_features, kernel="vectorized")
+        assert np.array_equal(out, ref)
+
+    def test_auto_env_threads_dispatches_parallel(
+        self, small_rmat, small_features, monkeypatch
+    ):
+        """REPRO_NUM_THREADS makes auto pick the parallel engine."""
+        from repro.kernels.spmm import _auto_select
+
+        monkeypatch.setenv("REPRO_NUM_THREADS", "4")
+        kernel, _ = _auto_select(small_rmat, small_features, None, None)
+        assert kernel == "parallel"
+        out = aggregate(small_rmat, small_features, kernel="auto")
+        ref = aggregate(small_rmat, small_features, kernel="vectorized")
+        assert np.array_equal(out, ref)
+        monkeypatch.setenv("REPRO_NUM_THREADS", "1")
+        kernel, _ = _auto_select(small_rmat, small_features, None, None)
+        assert kernel == "vectorized"
 
     def test_validate_kernel(self):
         from repro.kernels import validate_kernel
@@ -41,6 +67,23 @@ class TestDispatch:
     def test_unknown_kernel(self, small_rmat, small_features):
         with pytest.raises(KeyError, match="unknown kernel"):
             aggregate(small_rmat, small_features, kernel="cuda")
+
+    def test_unknown_schedule_fails_on_any_kernel(self, small_rmat, small_features):
+        """A typo'd policy must fail fast even when the resolved kernel
+        is single-threaded and would never consult it."""
+        with pytest.raises(ValueError, match="schedule"):
+            aggregate(small_rmat, small_features, kernel="vectorized",
+                      schedule="blanced")
+        with pytest.raises(ValueError, match="schedule"):
+            aggregate(small_rmat, small_features, kernel="auto",
+                      schedule="guided")
+
+    def test_invalid_num_threads_fails_on_any_kernel(
+        self, small_rmat, small_features
+    ):
+        with pytest.raises(ValueError, match="num_threads"):
+            aggregate(small_rmat, small_features, kernel="vectorized",
+                      num_threads=0)
 
     def test_blockedgraph_input(self, small_rmat, small_features):
         bg = BlockedGraph.build(small_rmat, 4)

@@ -60,6 +60,47 @@ def test_put_many_alignment_check():
         ResultCache(4).put_many(np.array([1, 2]), np.zeros((3, 4)))
 
 
+class TestMutationSafety:
+    """The cache must never alias caller memory in either direction."""
+
+    def test_put_copies_caller_row(self):
+        c = ResultCache(4)
+        row = _row(1.0)
+        c.put(1, row)
+        row[:] = 99.0  # caller reuses its buffer after insert
+        assert np.array_equal(c.get(1), _row(1.0))
+
+    def test_put_many_copies_batch_rows(self):
+        c = ResultCache(8)
+        batch = np.stack([_row(1), _row(2), _row(3)])
+        c.put_many(np.array([1, 2, 3]), batch)
+        batch[:] = -1.0  # e.g. the batcher recycling its gather buffer
+        found, missing = c.get_many(np.array([1, 2, 3]))
+        assert missing.size == 0
+        for v in (1, 2, 3):
+            assert np.array_equal(found[v], _row(v))
+
+    def test_stored_rows_do_not_pin_the_batch_matrix(self):
+        """Row *views* of a batch matrix would keep the whole matrix
+        alive; the stored copies must own their memory."""
+        c = ResultCache(8)
+        batch = np.stack([_row(1), _row(2)])
+        c.put_many(np.array([1, 2]), batch)
+        assert c.get(1).base is None
+
+    def test_returned_rows_are_read_only(self):
+        c = ResultCache(4)
+        c.put(1, _row(1.0))
+        got = c.get(1)
+        with pytest.raises(ValueError):
+            got[0] = 42.0
+        found, _ = c.get_many(np.array([1]))
+        with pytest.raises(ValueError):
+            found[1][0] = 42.0
+        # and the attempted writes changed nothing
+        assert np.array_equal(c.get(1), _row(1.0))
+
+
 def test_reset_and_stats():
     c = ResultCache(4)
     c.put(1, _row(1)); c.get(1); c.get(2)

@@ -54,6 +54,17 @@ def test_from_checkpoint_rebuilds_architecture(trained, checkpoint_path):
     assert np.array_equal(eng.logits, _direct_logits(trained))
 
 
+def test_threaded_precompute_bit_identical(trained, checkpoint_path):
+    """num_threads routes the layer-wise precompute pass through the
+    parallel engine without changing a bit of the tables."""
+    ds, _, _ = trained
+    eng = InferenceEngine.from_checkpoint(checkpoint_path, ds, num_threads=2)
+    assert all(layer.num_threads == 2 for layer in eng.model.layers)
+    eng.precompute()
+    assert np.array_equal(eng.logits, _direct_logits(trained))
+    assert eng.stats()["num_threads"] == 2
+
+
 def test_from_checkpoint_config_override(trained, checkpoint_path):
     """An explicit config is still overlaid by the checkpoint's meta,
     so the model shape always matches the stored weights."""
