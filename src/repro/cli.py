@@ -10,7 +10,11 @@ Commands
 ``sample``     mini-batch (Dist-DGL style) training.
 ``predict``    one-shot predictions from a checkpoint.
 ``serve``      HTTP prediction service (precompute + micro-batched
-               lookups + LRU result cache) over a checkpoint.
+               lookups + LRU result cache) over a checkpoint; accepts
+               streaming edge updates on ``POST /update_edges``.
+``ingest``     streaming topology ingestion: replay a held-out edge
+               suffix through the delta-CSR dynamic graph and the
+               online Libra partitioner, with drift + compaction report.
 """
 
 from __future__ import annotations
@@ -110,6 +114,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--num-threads", type=int, default=None,
         help="worker threads for precompute and refresh passes",
+    )
+    p_serve.add_argument(
+        "--full-threshold", type=float, default=0.25,
+        help="edge/feature updates whose affected set exceeds this "
+        "fraction of the graph trigger a full precompute instead of an "
+        "incremental refresh",
+    )
+
+    p_ing = sub.add_parser("ingest", help="streaming edge ingestion")
+    _dataset_args(p_ing)
+    p_ing.add_argument("--partitions", type=int, default=4)
+    p_ing.add_argument(
+        "--stream-fraction", type=float, default=0.2,
+        help="fraction of edges held out of the base graph and replayed "
+        "as the arriving stream",
+    )
+    p_ing.add_argument(
+        "--chunk-size", type=int, default=4096,
+        help="edges per ingest chunk (one assignment + append batch)",
+    )
+    p_ing.add_argument(
+        "--compact-threshold", type=float, default=0.25,
+        help="delta fraction that triggers auto-compaction",
+    )
+    p_ing.add_argument(
+        "--drift-tolerance", type=float, default=0.1,
+        help="relative replication-factor growth that triggers the "
+        "repartition recommendation",
+    )
+    p_ing.add_argument(
+        "--state", default=None, metavar="NPZ",
+        help="LibraState checkpoint: resumed when the file exists, "
+        "written on exit (makes ingestion restartable)",
     )
     return parser
 
@@ -254,7 +291,13 @@ def cmd_predict(args) -> int:
 
 
 def cmd_serve(args) -> int:  # pragma: no cover - interactive loop
-    from repro.serving import InferenceEngine, PredictionServer, PredictionService, ResultCache
+    from repro.serving import (
+        IncrementalRefresher,
+        InferenceEngine,
+        PredictionServer,
+        PredictionService,
+        ResultCache,
+    )
 
     ds = _load(args)
     engine = InferenceEngine.from_checkpoint(
@@ -267,12 +310,18 @@ def cmd_serve(args) -> int:  # pragma: no cover - interactive loop
         batch=args.max_batch > 0,
         max_batch=max(args.max_batch, 1),
         max_wait_ms=args.max_wait_ms,
+        # edge/feature updates refresh incrementally below the threshold
+        refresher=IncrementalRefresher(
+            engine, full_threshold=args.full_threshold
+        ),
     )
     server = PredictionServer(service, host=args.host, port=args.port, verbose=True)
     host, port = server.address
     print(f"serving {ds.name} ({engine.model_kind}, {engine.num_vertices} vertices)")
-    print(f"  POST http://{host}:{port}/predict   "
+    print(f"  POST http://{host}:{port}/predict        "
           '{"vertices": [0, 1], "k": 3}')
+    print(f"  POST http://{host}:{port}/update_edges   "
+          '{"add": [[0, 1]], "remove": [[2, 3]]}')
     print(f"  GET  http://{host}:{port}/stats")
     print(f"  GET  http://{host}:{port}/healthz")
     try:
@@ -283,6 +332,112 @@ def cmd_serve(args) -> int:  # pragma: no cover - interactive loop
     return 0
 
 
+def cmd_ingest(args) -> int:
+    import os
+    import time
+
+    from repro.dyngraph import DynamicGraph, LibraState
+    from repro.graph.builders import coo_to_csr
+
+    if not 0.0 < args.stream_fraction < 1.0:
+        print("error: --stream-fraction must be in (0, 1)", file=sys.stderr)
+        return 2
+    if args.chunk_size < 1:
+        print("error: --chunk-size must be >= 1", file=sys.stderr)
+        return 2
+    ds = _load(args)
+    src, dst, _ = ds.graph.to_coo()
+    m = src.size
+    n = max(ds.graph.num_vertices, ds.graph.num_src)
+    # simulate arrival order: a CSR dump replayed destination-major is
+    # Libra's pathological order (consecutive edges share a destination,
+    # so the greedy rule piles them onto one partition) — real traffic
+    # interleaves destinations, which a seeded shuffle stands in for
+    order = np.random.default_rng(args.seed).permutation(m)
+    src, dst = src[order], dst[order]
+    split = max(1, int(m * (1.0 - args.stream_fraction)))
+    base = coo_to_csr(src[:split], dst[:split], num_dst=n, num_src=n)
+    dyn = DynamicGraph(base, compact_threshold=args.compact_threshold)
+
+    resumed = args.state is not None and (
+        os.path.exists(args.state) or os.path.exists(args.state + ".npz")
+    )
+    if resumed:
+        state = LibraState.load(args.state)
+        if (state.num_vertices, state.num_partitions) != (n, args.partitions):
+            print(
+                f"error: resumed state is ({state.num_vertices} vertices, "
+                f"{state.num_partitions} partitions), dataset wants "
+                f"({n}, {args.partitions})", file=sys.stderr,
+            )
+            return 2
+        if state.seed != args.seed:
+            # the seed defines the replayed arrival order; resuming the
+            # assignment counter into a differently-shuffled sequence
+            # would silently diverge from the batch-replay equivalence
+            print(
+                f"error: resumed state was built with --seed {state.seed}, "
+                f"got --seed {args.seed}", file=sys.stderr,
+            )
+            return 2
+        print(f"resumed LibraState: {state.num_assigned}/{m} edges assigned")
+    else:
+        state = LibraState(n, args.partitions, seed=args.seed)
+    # the edge sequence is deterministic, so the state's assignment
+    # counter is exactly the resume point in it
+    start = min(state.num_assigned, m)
+    if start < split:
+        t0 = time.perf_counter()
+        state.assign(src[start:split], dst[start:split])
+        bulk_s = time.perf_counter() - t0
+        print(
+            f"bulk ingest   : {split - start} base edges in {bulk_s:.2f}s "
+            f"({(split - start) / max(bulk_s, 1e-9):,.0f} edges/s)"
+        )
+    if state.baseline_rf is None:
+        state.set_baseline()
+
+    stream_from = max(start, split)
+    # dyn replays the already-assigned stream prefix first (in stream
+    # order, so the merged view matches a from-scratch rebuild); only
+    # the Libra assignment itself is resumable
+    if stream_from > split:
+        dyn.add_edges(src[split:stream_from], dst[split:stream_from])
+    t0 = time.perf_counter()
+    for lo in range(stream_from, m, args.chunk_size):
+        hi = min(lo + args.chunk_size, m)
+        state.assign(src[lo:hi], dst[lo:hi])
+        dyn.add_edges(src[lo:hi], dst[lo:hi])
+    stream_s = time.perf_counter() - t0
+    streamed = m - stream_from
+
+    print(f"streamed      : {streamed} edges in {stream_s:.2f}s "
+          f"({streamed / max(stream_s, 1e-9):,.0f} edges/s, "
+          f"chunks of {args.chunk_size})")
+    print(f"loads         : {state.load.tolist()}")
+    print(f"replication   : {state.replication_factor:.3f} "
+          f"(baseline {state.baseline_rf:.3f}, drift {100 * state.drift():+.1f}%)")
+    print(f"repartition?  : "
+          f"{'recommended' if state.should_repartition(args.drift_tolerance) else 'no'}"
+          f" (tolerance {100 * args.drift_tolerance:.0f}%)")
+    print(f"delta state   : {dyn.num_delta_edges} delta edges, "
+          f"{dyn.num_compactions} compactions, "
+          f"delta fraction {dyn.delta_fraction:.3f}")
+
+    merged = dyn.csr()
+    rebuilt = coo_to_csr(src, dst, num_dst=n, num_src=n)
+    ok = (
+        np.array_equal(merged.indptr, rebuilt.indptr)
+        and np.array_equal(merged.indices, rebuilt.indices)
+        and np.array_equal(merged.edge_ids, rebuilt.edge_ids)
+    )
+    print(f"compact check : merged view {'==' if ok else '!='} from-scratch rebuild")
+    if args.state:
+        state.save(args.state)
+        print(f"state written : {args.state}")
+    return 0 if ok else 1
+
+
 COMMANDS = {
     "info": cmd_info,
     "partition": cmd_partition,
@@ -290,6 +445,7 @@ COMMANDS = {
     "sample": cmd_sample,
     "predict": cmd_predict,
     "serve": cmd_serve,
+    "ingest": cmd_ingest,
 }
 
 

@@ -1,0 +1,245 @@
+"""Resumable streaming Libra: online partition assignment for arriving edges.
+
+Libra's greedy rule (:mod:`repro.partition.libra`) is inherently
+streaming — each edge's assignment depends only on the membership matrix
+and the load vector accumulated over all *previous* edges.
+:class:`LibraState` materializes exactly that state so a service can
+assign partitions to edges as they arrive, one or a chunk at a time,
+instead of re-running the batch partitioner over the whole graph.
+
+Equivalence contract (pinned in ``tests/dyngraph/test_ingest.py``):
+feeding any prefix/suffix split of an edge sequence through one
+``LibraState`` — across process restarts via :meth:`save` /
+:meth:`load` — produces byte-identical assignments, loads, and
+membership to one :func:`repro.partition.libra.libra_partition` replay
+over the concatenated sequence with ``shuffle_edges=False`` and the same
+seed.  (The batch partitioner's optional pre-shuffle is an offline
+luxury; an online stream *is* its own arrival order.)
+
+Because the state carries the membership matrix, it also knows the
+current replication factor at every step.  Streaming assignment is
+greedy and never revisits old decisions, so quality drifts as the graph
+grows: :meth:`set_baseline` + :meth:`should_repartition` implement the
+drift trigger that recommends an offline repartition once the
+replication factor has degraded past a tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, INDEX_DTYPE
+
+
+class LibraState:
+    """Online Libra partitioner state (membership, loads, tie-break noise).
+
+    Parameters
+    ----------
+    num_vertices:
+        Size of the (fixed) vertex set the membership matrix covers.
+    num_partitions:
+        Number of partitions (sockets).
+    seed:
+        Seeds the tie-break noise exactly like
+        ``libra_partition(..., seed, shuffle_edges=False)`` does, which
+        is what makes streaming and batch replay bit-equal.
+    """
+
+    def __init__(self, num_vertices: int, num_partitions: int, seed: int = 0):
+        n, p = int(num_vertices), int(num_partitions)
+        if p < 1:
+            raise ValueError("num_partitions must be >= 1")
+        if n < 0:
+            raise ValueError("num_vertices must be >= 0")
+        self.num_vertices = n
+        self.num_partitions = p
+        self.seed = int(seed)
+        #: vertex -> partitions holding a clone of it
+        self.member = np.zeros((n, p), dtype=bool)
+        #: edges per partition
+        self.load = np.zeros(p, dtype=np.int64)
+        # Identical draw to libra_partition(shuffle_edges=False): the
+        # permutation is never taken there, so random(p) is the first
+        # consumption of the generator in both places.
+        self.tie = np.random.default_rng(seed).random(p) * 1e-9
+        self.num_assigned = 0
+        self.baseline_rf: Optional[float] = None
+
+    # -- assignment -------------------------------------------------------------
+
+    def assign(self, src, dst) -> np.ndarray:
+        """Assign a chunk of arriving edges, in order; returns partitions.
+
+        The loop is sequential by construction (each decision feeds the
+        next), exactly like the batch partitioner's.
+        """
+        src = np.atleast_1d(np.asarray(src, dtype=INDEX_DTYPE))
+        dst = np.atleast_1d(np.asarray(dst, dtype=INDEX_DTYPE))
+        if src.shape != dst.shape or src.ndim != 1:
+            raise ValueError("src/dst must be equal-length 1-D sequences")
+        if src.size and (
+            src.min() < 0
+            or dst.min() < 0
+            or src.max() >= self.num_vertices
+            or dst.max() >= self.num_vertices
+        ):
+            raise ValueError(
+                f"edge endpoints must be in [0, {self.num_vertices})"
+            )
+        out = np.zeros(src.size, dtype=INDEX_DTYPE)
+        if self.num_partitions == 1:
+            self.num_assigned += src.size
+            self.load[0] += src.size
+            if src.size:
+                self.member[src, 0] = True
+                self.member[dst, 0] = True
+            return out
+        member, load, tie = self.member, self.load, self.tie
+        for i in range(src.size):
+            u = src[i]
+            v = dst[i]
+            mu = member[u]
+            mv = member[v]
+            both = mu & mv
+            if both.any():
+                cand = both
+            else:
+                either = mu | mv
+                cand = either if either.any() else None
+            if cand is None:
+                part = int(np.argmin(load + tie))
+            else:
+                masked = np.where(cand, load + tie, np.inf)
+                part = int(np.argmin(masked))
+            out[i] = part
+            member[u, part] = True
+            member[v, part] = True
+            load[part] += 1
+        self.num_assigned += src.size
+        return out
+
+    def assign_one(self, u: int, v: int) -> int:
+        return int(self.assign([u], [v])[0])
+
+    def assign_graph(self, graph: CSRGraph) -> np.ndarray:
+        """Stream a whole graph in CSR storage order.
+
+        Returns the assignment indexed by **edge id** — the same indexing
+        (and, by the equivalence contract, the same values) as
+        ``libra_partition(graph, p, seed, shuffle_edges=False)``.
+        """
+        src, dst, eid = graph.to_coo()
+        assignment = np.zeros(graph.num_edges, dtype=INDEX_DTYPE)
+        assignment[eid] = self.assign(src, dst)
+        return assignment
+
+    # -- quality / drift --------------------------------------------------------
+
+    @property
+    def replication_factor(self) -> float:
+        """Average clones per present vertex (paper Table 4 metric)."""
+        clones = self.member.sum(axis=1)
+        present = clones > 0
+        if not present.any():
+            return 0.0
+        return float(clones[present].mean())
+
+    def set_baseline(self, rf: Optional[float] = None) -> float:
+        """Record the reference replication factor drift is measured from
+        (defaults to the current one, e.g. right after bulk ingest)."""
+        self.baseline_rf = float(
+            self.replication_factor if rf is None else rf
+        )
+        return self.baseline_rf
+
+    def drift(self) -> float:
+        """Relative replication-factor growth over the baseline."""
+        if not self.baseline_rf:
+            return 0.0
+        return self.replication_factor / self.baseline_rf - 1.0
+
+    def should_repartition(self, tolerance: float = 0.1) -> bool:
+        """Recommend an offline repartition once streaming quality has
+        drifted more than ``tolerance`` (relative) past the baseline."""
+        if tolerance < 0:
+            raise ValueError("tolerance must be >= 0")
+        return self.drift() > tolerance
+
+    # -- persistence ------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "num_vertices": np.asarray(self.num_vertices),
+            "num_partitions": np.asarray(self.num_partitions),
+            "seed": np.asarray(self.seed),
+            "member": np.packbits(self.member, axis=0),
+            "load": self.load,
+            "tie": self.tie,
+            "num_assigned": np.asarray(self.num_assigned),
+            "baseline_rf": np.asarray(
+                np.nan if self.baseline_rf is None else self.baseline_rf
+            ),
+        }
+
+    def save(self, path: str) -> None:
+        """Persist to ``.npz`` so ingestion survives a process restart."""
+        np.savez_compressed(path, **self.state_dict())
+
+    @classmethod
+    def load(cls, path: str) -> "LibraState":
+        import os
+
+        if not os.path.exists(path) and os.path.exists(path + ".npz"):
+            path = path + ".npz"
+        with np.load(path) as data:
+            state = cls(
+                int(data["num_vertices"]),
+                int(data["num_partitions"]),
+                seed=int(data["seed"]),
+            )
+            state.member = (
+                np.unpackbits(
+                    data["member"], axis=0, count=state.num_vertices
+                ).astype(bool)
+            )
+            state.load = data["load"].astype(np.int64)
+            state.tie = data["tie"]  # resumed verbatim, not re-drawn
+            state.num_assigned = int(data["num_assigned"])
+            baseline = float(data["baseline_rf"])
+            state.baseline_rf = None if np.isnan(baseline) else baseline
+        return state
+
+    def stats(self) -> dict:
+        return {
+            "num_partitions": self.num_partitions,
+            "num_assigned": self.num_assigned,
+            "loads": self.load.tolist(),
+            "replication_factor": self.replication_factor,
+            "baseline_rf": self.baseline_rf,
+            "drift": self.drift(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LibraState(p={self.num_partitions}, "
+            f"assigned={self.num_assigned}, rf={self.replication_factor:.3f})"
+        )
+
+
+def streaming_libra_partition(
+    graph: CSRGraph, num_partitions: int, seed: int = 0
+) -> Tuple[np.ndarray, LibraState]:
+    """Partition a whole graph through :class:`LibraState` in one go.
+
+    Convenience for bootstrapping: returns the assignment (edge-id
+    indexed, equal to ``libra_partition(..., shuffle_edges=False)``) plus
+    the live state, ready to keep assigning arriving edges.
+    """
+    n = max(graph.num_vertices, graph.num_src)
+    state = LibraState(n, num_partitions, seed=seed)
+    assignment = state.assign_graph(graph)
+    state.set_baseline()
+    return assignment, state

@@ -1,0 +1,186 @@
+"""Topology updates for the online serving tier.
+
+:mod:`repro.serving.refresh` keeps an engine's precomputed embedding
+tables consistent under *feature* updates.  This module extends the same
+machinery to *edge* updates: the engine's frozen ``graph`` is shadowed
+by a :class:`~repro.dyngraph.delta.DynamicGraph`, arriving edge
+mutations are applied to it, and the engine is re-pointed at the merged
+view (plus a fresh degree normalizer — topology changes move degrees,
+and both servable architectures normalize by in-degree).
+
+The refresh itself rides the existing k-hop affected-set machinery,
+seeded from the mutated edges' **endpoints**.  That seed set soundly
+over-approximates every layer-0 output the mutation can move:
+
+- a mutated edge ``u -> v`` changes row ``v``'s aggregation input set,
+  and ``v``'s in-degree (hence ``norm[v]``) — ``v`` is a seed;
+- ``norm[v]`` also scales ``v``'s *outgoing* contributions (GCN scales
+  sources, GraphSAGE's self term), so ``v``'s out-neighbours move — the
+  affected-set expansion's first hop covers them;
+- ``u``'s own output is unchanged (its in-edges and norm are untouched),
+  so seeding it costs a few extra rows but loses nothing.
+
+Rows outside the affected sets keep bit-identical values under the new
+topology, which is what makes the incremental path exactly equal to a
+full ``precompute()`` on the compacted graph (pinned in
+``tests/dyngraph/test_serving_updates.py``).
+
+Wired into :class:`repro.serving.refresh.IncrementalRefresher.
+update_edges` (incremental / full / deferred policy) and
+:class:`repro.serving.server.PredictionService.update_edges` (HTTP
+``POST /update_edges``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.models import norm_from_degrees
+from repro.dyngraph.delta import DynamicGraph, _as_endpoint_arrays
+from repro.graph.csr import INDEX_DTYPE
+
+
+def as_edge_pairs(edges, what: str) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalize an iterable of ``(u, v)`` pairs to ``(src, dst)`` arrays.
+
+    The canonical wire/API format for edge updates is a sequence of
+    pairs (``[[u, v], ...]``); ``None`` means no edges.
+    """
+    if edges is None:
+        empty = np.zeros(0, dtype=INDEX_DTYPE)
+        return empty, empty
+    try:
+        pairs = np.asarray(edges, dtype=INDEX_DTYPE)
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise ValueError(f"{what} must be (src, dst) integer pairs: {exc}")
+    if pairs.size == 0:
+        empty = np.zeros(0, dtype=INDEX_DTYPE)
+        return empty, empty
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError(
+            f"{what} must be a sequence of (src, dst) pairs, "
+            f"got shape {pairs.shape}"
+        )
+    return pairs[:, 0].copy(), pairs[:, 1].copy()
+
+
+@dataclass(frozen=True)
+class EdgeUpdateStats:
+    """Outcome of one ``update_edges`` call."""
+
+    #: "incremental" (row-subset recompute), "full" (whole-graph
+    #: precompute), or "deferred" (tables left stale, on-demand serving).
+    mode: str
+    num_added: int
+    num_removed: int
+    #: distinct mutated-edge endpoints seeding the affected sets.
+    num_seeds: int
+    affected_per_layer: Tuple[int, ...]
+    affected_fraction: float
+    rows_recomputed: int
+    #: live edges in the merged graph after the update.
+    num_edges: int
+    #: whether this update tripped an auto-compaction.
+    compacted: bool
+    delta_fraction: float
+
+    def to_json(self) -> dict:
+        """JSON-safe dict (the HTTP endpoint's response body)."""
+        return {
+            "mode": self.mode,
+            "num_added": self.num_added,
+            "num_removed": self.num_removed,
+            "num_seeds": self.num_seeds,
+            "affected_per_layer": list(self.affected_per_layer),
+            "affected_fraction": self.affected_fraction,
+            "rows_recomputed": self.rows_recomputed,
+            "num_edges": self.num_edges,
+            "compacted": self.compacted,
+            "delta_fraction": self.delta_fraction,
+        }
+
+
+@dataclass(frozen=True)
+class TopologyDelta:
+    """What :func:`apply_topology` did to the engine's graph."""
+
+    seeds: np.ndarray
+    num_added: int
+    num_removed: int
+    compacted: bool
+
+
+def apply_topology(
+    engine,
+    add=None,
+    remove=None,
+    compact_threshold: Optional[float] = 0.25,
+) -> TopologyDelta:
+    """Apply edge mutations to an engine's graph (tables untouched).
+
+    Lazily shadows ``engine.graph`` with a :class:`DynamicGraph` (kept on
+    ``engine.dynamic``), applies removals then additions, and re-points
+    ``engine.graph`` / ``engine.norm`` at the merged view.  The caller is
+    responsible for refreshing the embedding tables afterwards
+    (incrementally from the returned seeds, or via ``precompute()``).
+    """
+    add_src, add_dst = as_edge_pairs(add, "add")
+    rem_src, rem_dst = as_edge_pairs(remove, "remove")
+    if add_src.size == 0 and rem_src.size == 0:
+        raise ValueError("update_edges needs at least one edge to add or remove")
+    # validate BOTH batches before touching the shadow graph: a bad add
+    # must not leave removals half-applied (and unpublished — the next
+    # update would then publish them without seeding their endpoints,
+    # breaking the incremental == compacted-precompute contract)
+    n = engine.num_vertices
+    _as_endpoint_arrays(add_src, add_dst, n, "add")
+    _as_endpoint_arrays(rem_src, rem_dst, n, "remove")
+    dyn = engine.dynamic
+    if dyn is None:
+        dyn = DynamicGraph(engine.graph, compact_threshold=compact_threshold)
+        engine.dynamic = dyn
+    compactions_before = dyn.num_compactions
+    # removals first: an add+remove of the same pair in one batch means
+    # "replace" (the removal targets a pre-existing edge, not the new one)
+    if rem_src.size:
+        dyn.remove_edges(rem_src, rem_dst)
+    if add_src.size:
+        dyn.add_edges(add_src, add_dst)
+    engine.graph = dyn.csr()
+    engine.norm = norm_from_degrees(
+        engine.model_kind, engine.graph.in_degrees()
+    )
+    seeds = np.unique(np.concatenate([add_src, add_dst, rem_src, rem_dst]))
+    return TopologyDelta(
+        seeds=seeds,
+        num_added=int(add_src.size),
+        num_removed=int(rem_src.size),
+        compacted=dyn.num_compactions > compactions_before,
+    )
+
+
+def full_topology_update(engine, add=None, remove=None) -> EdgeUpdateStats:
+    """Edge update + whole-graph precompute (no refresher attached).
+
+    The simplest correct policy: apply the mutation and rebuild every
+    table.  ``engine.version`` is bumped by the precompute, so caches
+    layered on top invalidate as usual.
+    """
+    delta = apply_topology(engine, add=add, remove=remove)
+    engine.precompute()
+    dyn = engine.dynamic
+    return EdgeUpdateStats(
+        mode="full",
+        num_added=delta.num_added,
+        num_removed=delta.num_removed,
+        num_seeds=int(delta.seeds.size),
+        affected_per_layer=(engine.num_vertices,) * engine.num_layers,
+        affected_fraction=1.0,
+        rows_recomputed=engine.num_vertices * engine.num_layers,
+        num_edges=dyn.num_edges,
+        compacted=delta.compacted,
+        delta_fraction=dyn.delta_fraction,
+    )

@@ -14,6 +14,10 @@ other layer of the reproduction builds on:
   signatures plus planted labels for accuracy experiments.
 - :mod:`repro.graph.io` — ``.npz`` persistence.
 - :mod:`repro.graph.utils` — degrees, bidirection, subgraphs, density.
+
+:class:`~repro.dyngraph.delta.DynamicGraph` (re-exported here) is the
+mutable counterpart: a frozen CSR base plus a streaming edge delta and
+tombstones, compacting back to a bit-identical :class:`CSRGraph`.
 """
 
 from repro.graph.builders import coo_to_csr, from_edge_list
@@ -40,8 +44,12 @@ from repro.graph.utils import (
     to_bidirected,
 )
 
+# last: repro.dyngraph builds on the modules imported above
+from repro.dyngraph.delta import DynamicGraph
+
 __all__ = [
     "CSRGraph",
+    "DynamicGraph",
     "coo_to_csr",
     "from_edge_list",
     "rmat_graph",

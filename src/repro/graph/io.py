@@ -13,7 +13,14 @@ _FORMAT_VERSION = 1
 
 
 def save_graph(path: str, g: CSRGraph, **extra_arrays: np.ndarray) -> None:
-    """Save a graph (plus any aligned arrays, e.g. features/labels) to npz."""
+    """Save a graph (plus any aligned arrays, e.g. features/labels) to npz.
+
+    The structure is validated *before* anything is written — a graph
+    corrupted in memory must fail here, not at the next ``load_graph``.
+    Extra arrays round-trip with their exact dtypes (bool masks, float32
+    features, ...); ``np.savez`` preserves them.
+    """
+    validate_graph(g)
     payload = {
         "format_version": np.asarray(_FORMAT_VERSION),
         "indptr": g.indptr,

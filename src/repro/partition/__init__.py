@@ -16,8 +16,13 @@ and low replication factors on power-law graphs (Table 4).
 - :mod:`repro.partition.tree` — the 1-level root/leaves trees coordinating
   split-vertex communication in Alg. 4.
 - :mod:`repro.partition.stats` — replication factor and balance metrics.
+
+Libra's greedy rule is inherently streaming, so it also runs online:
+:class:`~repro.dyngraph.ingest.LibraState` (re-exported here) assigns
+partitions to edges as they arrive, byte-equal to a batch replay.
 """
 
+from repro.dyngraph.ingest import LibraState, streaming_libra_partition
 from repro.partition.baselines import hash_edge_partition, random_edge_partition
 from repro.partition.io import load_partitioning, save_partitioning
 from repro.partition.libra import libra_partition
@@ -31,6 +36,8 @@ from repro.partition.tree import SplitVertexTree, build_split_trees
 
 __all__ = [
     "libra_partition",
+    "LibraState",
+    "streaming_libra_partition",
     "random_edge_partition",
     "hash_edge_partition",
     "GraphPartition",

@@ -18,7 +18,10 @@ hard balance constraint (Section 6.3).
 Membership is tracked as a dense boolean matrix ``(num_vertices,
 num_partitions)`` so each step is a couple of NumPy row reads; the edge
 loop itself is sequential because each decision depends on all previous
-ones (the algorithm is inherently streaming).
+ones (the algorithm is inherently streaming).  The loop lives in
+:class:`repro.dyngraph.ingest.LibraState` — this batch entry point is a
+replay of the streaming state over one (optionally shuffled) edge
+sequence, so streaming-vs-batch equivalence holds by construction.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.dyngraph.ingest import LibraState
 from repro.graph.csr import CSRGraph, INDEX_DTYPE
 
 
@@ -68,32 +72,14 @@ def libra_partition(
     order = rng.permutation(m) if shuffle_edges else np.arange(m)
 
     n = max(graph.num_vertices, graph.num_src)
-    member = np.zeros((n, p), dtype=bool)  # vertex -> partitions holding it
-    load = np.zeros(p, dtype=np.int64)  # edges per partition
-    # Tiny random tie-break noise keeps argmin from always favouring low ids.
-    tie = rng.random(p) * 1e-9
-
-    src_o, dst_o, eid_o = src[order], dst[order], eid[order]
-    for i in range(m):
-        u = src_o[i]
-        v = dst_o[i]
-        mu = member[u]
-        mv = member[v]
-        both = mu & mv
-        if both.any():
-            cand = both
-        else:
-            either = mu | mv
-            cand = either if either.any() else None
-        if cand is None:
-            part = int(np.argmin(load + tie))
-        else:
-            masked = np.where(cand, load + tie, np.inf)
-            part = int(np.argmin(masked))
-        assignment[eid_o[i]] = part
-        member[u, part] = True
-        member[v, part] = True
-        load[part] += 1
+    state = LibraState(n, p, seed=seed)
+    # Tiny random tie-break noise keeps argmin from always favouring low
+    # ids.  Drawn from *this* generator, after the permutation, so the
+    # historical RNG stream (and every shuffled assignment ever
+    # produced) is preserved; without a shuffle the permutation is never
+    # drawn and this equals the state's own first-draw tie.
+    state.tie = rng.random(p) * 1e-9
+    assignment[eid[order]] = state.assign(src[order], dst[order])
     return assignment
 
 

@@ -18,8 +18,15 @@ request is a table lookup.
   LRU over result rows (the real counterpart of :mod:`repro.cachesim`).
 - :mod:`repro.serving.server` — :class:`PredictionService` composition
   and the stdlib HTTP endpoint (``repro serve``).
+
+Topology is not frozen either: ``update_edges(add, remove)`` on the
+refresher/service (backed by :mod:`repro.dyngraph.serving_updates`)
+applies streaming edge mutations through a delta-CSR shadow graph and
+refreshes exactly as if the compacted graph had been fully precomputed;
+the server exposes it as ``POST /update_edges``.
 """
 
+from repro.dyngraph.serving_updates import EdgeUpdateStats
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import ResultCache
 from repro.serving.engine import InferenceEngine, full_graph_forward
@@ -42,4 +49,5 @@ __all__ = [
     "ResultCache",
     "PredictionService",
     "PredictionServer",
+    "EdgeUpdateStats",
 ]

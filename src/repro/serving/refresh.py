@@ -189,12 +189,16 @@ class IncrementalRefresher:
         self.engine = engine.ensure_ready()
         self.full_threshold = float(full_threshold)
         self.deferred = bool(deferred)
+        #: kept so :meth:`update_edges` can rebuild the on-demand path
+        #: over the mutated topology with the same fan-out policy.
+        self._fanouts = fanouts
         self.on_demand = OnDemandInference(engine, fanouts=fanouts)
         #: vertices whose precomputed rows are stale (deferred mode only).
         self._stale = np.zeros(0, dtype=INDEX_DTYPE)
         self.num_incremental = 0
         self.num_full = 0
         self.num_deferred = 0
+        self.num_topology_updates = 0
 
     @property
     def stale(self) -> np.ndarray:
@@ -206,8 +210,10 @@ class IncrementalRefresher:
         """Apply a feature update and refresh the affected embeddings.
 
         ``new_rows`` must align with ``vertex_ids`` (one feature row per
-        vertex).  Duplicate ids keep the last row, matching NumPy
-        fancy-assignment semantics.
+        vertex).  Repeated ids within one batch are deduplicated before
+        the write and the refresh: the **last** row per vertex wins
+        (matching NumPy fancy-assignment semantics), each vertex is
+        written once, and ``num_updated`` counts distinct vertices.
         """
         engine = self.engine
         ids = engine._check_ids(vertex_ids)
@@ -218,14 +224,34 @@ class IncrementalRefresher:
                 f"new_rows shape {rows.shape} does not match "
                 f"({ids.size}, {engine.features.shape[1]})"
             )
-        engine.features[ids] = rows
-        changed = np.unique(ids)
+        # first occurrence in the reversed batch == last occurrence in
+        # the original, so this is an explicit last-wins dedupe
+        changed, last = np.unique(ids[::-1], return_index=True)
+        engine.features[changed] = rows[::-1][last]
         affected = affected_sets(engine.graph, changed, engine.num_layers)
         fraction = affected[-1].size / max(engine.num_vertices, 1)
-        # A pending stale set poisons the layer tables an incremental
-        # pass would read from, so while staleness is outstanding every
-        # update defers (on-demand serves from raw features, which are
-        # always fresh); resolve() clears the debt in one full pass.
+        mode, recomputed = self._apply_refresh_policy(affected, fraction)
+        return RefreshStats(
+            mode=mode,
+            num_updated=changed.size,
+            affected_per_layer=tuple(a.size for a in affected),
+            affected_fraction=fraction,
+            rows_recomputed=recomputed,
+        )
+
+    def _apply_refresh_policy(
+        self, affected: List[np.ndarray], fraction: float
+    ) -> Tuple[str, int]:
+        """Shared incremental / full / deferred routing for feature and
+        topology updates: returns ``(mode, rows_recomputed)``.
+
+        A pending stale set poisons the layer tables an incremental
+        pass would read from, so while staleness is outstanding every
+        update defers (on-demand serves from raw features and the live
+        graph, which are always fresh); resolve() clears the debt in
+        one full pass.
+        """
+        engine = self.engine
         if fraction <= self.full_threshold and self._stale.size == 0:
             recomputed = self._recompute_rows(affected)
             self.num_incremental += 1
@@ -240,13 +266,7 @@ class IncrementalRefresher:
             mode, recomputed = "full", engine.num_vertices * engine.num_layers
         if mode != "full":  # precompute() already bumped the version
             engine.version += 1
-        return RefreshStats(
-            mode=mode,
-            num_updated=changed.size,
-            affected_per_layer=tuple(a.size for a in affected),
-            affected_fraction=fraction,
-            rows_recomputed=recomputed,
-        )
+        return mode, recomputed
 
     def _recompute_rows(self, affected: List[np.ndarray]) -> int:
         """Row-subset recompute: layer ``l``'s affected rows against the
@@ -277,6 +297,49 @@ class IncrementalRefresher:
         finally:
             model.train(was_training)
         return recomputed
+
+    # -- topology updates ---------------------------------------------------------
+
+    def update_edges(self, add=None, remove=None):
+        """Apply edge mutations and refresh the affected embeddings.
+
+        ``add`` / ``remove`` are sequences of ``(src, dst)`` pairs (see
+        :mod:`repro.dyngraph.serving_updates`).  The mutation lands on
+        the engine's delta-CSR shadow graph; the refresh then reuses the
+        k-hop affected-set machinery, seeded from the mutated edges'
+        endpoints, under the same incremental / full / deferred policy
+        as feature updates — and is exactly equal to a full
+        ``precompute()`` on the compacted graph.  Returns
+        :class:`~repro.dyngraph.serving_updates.EdgeUpdateStats`.
+        """
+        from repro.dyngraph.serving_updates import EdgeUpdateStats, apply_topology
+
+        engine = self.engine
+        delta = apply_topology(engine, add=add, remove=remove)
+        self.num_topology_updates += 1
+        affected = affected_sets(engine.graph, delta.seeds, engine.num_layers)
+        fraction = affected[-1].size / max(engine.num_vertices, 1)
+        # the on-demand sampler holds the old CSR (and its full-fanout
+        # default is a property of the old topology): rebuild it over
+        # the merged view, carrying the traffic counters across
+        prev = self.on_demand
+        self.on_demand = OnDemandInference(engine, fanouts=self._fanouts)
+        self.on_demand.num_requests = prev.num_requests
+        self.on_demand.num_sampled_edges = prev.num_sampled_edges
+        mode, recomputed = self._apply_refresh_policy(affected, fraction)
+        dyn = engine.dynamic
+        return EdgeUpdateStats(
+            mode=mode,
+            num_added=delta.num_added,
+            num_removed=delta.num_removed,
+            num_seeds=int(delta.seeds.size),
+            affected_per_layer=tuple(a.size for a in affected),
+            affected_fraction=fraction,
+            rows_recomputed=recomputed,
+            num_edges=dyn.num_edges,
+            compacted=delta.compacted,
+            delta_fraction=dyn.delta_fraction,
+        )
 
     # -- stale-aware serving ------------------------------------------------------
 
@@ -314,6 +377,7 @@ class IncrementalRefresher:
             "incremental": self.num_incremental,
             "full": self.num_full,
             "deferred": self.num_deferred,
+            "topology_updates": self.num_topology_updates,
             "stale_vertices": int(self._stale.size),
             "on_demand_requests": self.on_demand.num_requests,
             "full_threshold": self.full_threshold,

@@ -6,14 +6,23 @@ refresher routing — behind one ``predict``/``topk`` surface, and
 :class:`PredictionServer` exposes that surface on a
 ``ThreadingHTTPServer``:
 
-- ``POST /predict``  body ``{"vertices": [..], "k": 3?}`` ->
+- ``POST /predict``       body ``{"vertices": [..], "k": 3?}`` ->
   ``{"vertices", "labels", "topk"?}``
-- ``GET /stats``     engine / cache / batcher / refresher counters
-- ``GET /healthz``   liveness
+- ``POST /update_edges``  body ``{"add": [[u, v], ..]?, "remove":
+  [[u, v], ..]?}`` -> refresh outcome (mode, affected rows, edge count)
+- ``GET /stats``          engine / cache / batcher / refresher counters
+- ``GET /healthz``        liveness
 
 Request flow: per-request cache probe first (a full hit never queues),
 then the missing ids go through the micro-batcher, which coalesces
-misses across concurrent requests into one engine gather.
+misses across concurrent requests into one engine gather.  Edge updates
+land on the engine's delta-CSR shadow graph and refresh through the
+attached :class:`IncrementalRefresher` (full precompute without one).
+
+Malformed bodies — invalid JSON, non-object payloads, non-integer or
+out-of-range vertex ids, bad ``k``, bad edge pairs — answer ``400`` with
+a JSON error body; unexpected failures answer ``500`` with a JSON error
+body instead of a traceback.
 """
 
 from __future__ import annotations
@@ -30,6 +39,41 @@ from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import ResultCache
 from repro.serving.engine import InferenceEngine, topk_rows
 from repro.serving.refresh import IncrementalRefresher
+
+
+def _int_field(value, what: str) -> int:
+    """Strictly-integer JSON field (bools and floats are rejected —
+    ``1.5`` silently truncating to vertex 1 is a served-wrong-row bug)."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValueError(f"{what} must be an integer, got {value!r}")
+    return int(value)
+
+
+def _vertex_ids(value) -> np.ndarray:
+    if not isinstance(value, list):
+        raise ValueError(
+            f"vertices must be a list of integer vertex ids, got {value!r}"
+        )
+    return np.asarray(
+        [_int_field(v, f"vertices[{i}]") for i, v in enumerate(value)],
+        dtype=INDEX_DTYPE,
+    )
+
+
+def _edge_pairs(value, what: str):
+    if value is None:
+        return None
+    if not isinstance(value, list):
+        raise ValueError(f"{what} must be a list of [src, dst] pairs")
+    pairs = []
+    for i, pair in enumerate(value):
+        if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+            raise ValueError(f"{what}[{i}] must be a [src, dst] pair")
+        pairs.append(
+            (_int_field(pair[0], f"{what}[{i}][0]"),
+             _int_field(pair[1], f"{what}[{i}][1]"))
+        )
+    return pairs
 
 
 class PredictionService:
@@ -58,6 +102,10 @@ class PredictionService:
         )
         self.num_requests = 0
         self._cached_version = engine.version
+        # serializes concurrent topology updates (handler threads);
+        # readers are not blocked — they observe either table version,
+        # and the version check below drops cache rows from the old one
+        self._update_lock = threading.Lock()
 
     # -- request path ----------------------------------------------------------------
 
@@ -94,6 +142,25 @@ class PredictionService:
         """Top-``k`` ``(classes, scores)`` per requested vertex, derived
         from the (possibly cached) logit rows."""
         return topk_rows(self.predict_logits(vertex_ids), k)
+
+    # -- topology updates ---------------------------------------------------------------
+
+    def update_edges(self, add=None, remove=None):
+        """Apply edge mutations (``(src, dst)`` pair sequences) and
+        refresh the tables they invalidate.
+
+        Routes through the attached refresher's incremental / full /
+        deferred policy; without one, the engine's graph is mutated and
+        fully precomputed.  Either way ``engine.version`` moves, so the
+        next request drops every cached row.  Returns
+        :class:`~repro.dyngraph.serving_updates.EdgeUpdateStats`.
+        """
+        with self._update_lock:
+            if self.refresher is not None:
+                return self.refresher.update_edges(add=add, remove=remove)
+            from repro.dyngraph.serving_updates import full_topology_update
+
+            return full_topology_update(self.engine, add=add, remove=remove)
 
     # -- lifecycle / introspection ------------------------------------------------------
 
@@ -146,36 +213,72 @@ class _PredictionHandler(BaseHTTPRequestHandler):
         else:
             self._reply(404, {"error": f"unknown path {self.path}"})
 
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        body = self.rfile.read(length) if length else b""
+        try:
+            req = json.loads(body or b"{}")
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"body is not valid JSON: {exc}")
+        if not isinstance(req, dict):
+            raise ValueError(
+                f"body must be a JSON object, got {type(req).__name__}"
+            )
+        return req
+
     def do_POST(self) -> None:
-        if self.path != "/predict":
+        routes = {
+            "/predict": self._post_predict,
+            "/update_edges": self._post_update_edges,
+        }
+        route = routes.get(self.path)
+        if route is None:
             self._reply(404, {"error": f"unknown path {self.path}"})
             return
         try:
-            length = int(self.headers.get("Content-Length", 0))
-            req = json.loads(self.rfile.read(length) or b"{}")
-            vertices = np.asarray(req["vertices"], dtype=INDEX_DTYPE)
-            k = req.get("k")
-        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            route()
+        except (ValueError, OverflowError) as exc:
+            # malformed body / ids / k / pairs (OverflowError: an id too
+            # large for the index dtype is out-of-range, not a 500)
             self._reply(400, {"error": f"bad request: {exc}"})
-            return
-        try:
-            svc = self.service
-            resp = {
-                "vertices": vertices.tolist(),
-                "labels": svc.predict(vertices).tolist(),
-            }
-            if k is not None:
-                classes, scores = svc.topk(vertices, k=int(k))
-                resp["topk"] = [
-                    [
-                        {"class": int(c), "score": float(s)}
-                        for c, s in zip(crow, srow)
-                    ]
-                    for crow, srow in zip(classes, scores)
+        except Exception as exc:  # noqa: BLE001 — JSON 500, never a traceback page
+            self._reply(
+                500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
+            )
+
+    def _post_predict(self) -> None:
+        req = self._read_json()
+        if "vertices" not in req:
+            raise ValueError("missing required key 'vertices'")
+        vertices = _vertex_ids(req["vertices"])
+        k = req.get("k")
+        if k is not None:
+            k = _int_field(k, "k")
+        svc = self.service
+        resp = {
+            "vertices": vertices.tolist(),
+            "labels": svc.predict(vertices).tolist(),
+        }
+        if k is not None:
+            classes, scores = svc.topk(vertices, k=k)
+            resp["topk"] = [
+                [
+                    {"class": int(c), "score": float(s)}
+                    for c, s in zip(crow, srow)
                 ]
-            self._reply(200, resp)
-        except ValueError as exc:  # e.g. out-of-range vertex ids
-            self._reply(400, {"error": str(exc)})
+                for crow, srow in zip(classes, scores)
+            ]
+        self._reply(200, resp)
+
+    def _post_update_edges(self) -> None:
+        req = self._read_json()
+        unknown = set(req) - {"add", "remove"}
+        if unknown:
+            raise ValueError(f"unknown keys {sorted(unknown)}")
+        add = _edge_pairs(req.get("add"), "add")
+        remove = _edge_pairs(req.get("remove"), "remove")
+        stats = self.service.update_edges(add=add, remove=remove)
+        self._reply(200, {"status": "ok", **stats.to_json()})
 
 
 class PredictionServer:

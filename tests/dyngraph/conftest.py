@@ -1,0 +1,27 @@
+"""Dyngraph fixtures: a briefly-trained engine to mutate topology under."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TrainConfig, Trainer
+from repro.serving import InferenceEngine
+
+
+@pytest.fixture(scope="session", params=["sage", "gcn"])
+def dyn_trained(request, reddit_mini):
+    """(dataset, trainer, cfg) after 3 epochs, per servable architecture."""
+    cfg = TrainConfig(
+        num_layers=2, hidden_features=16, eval_every=0, seed=0,
+        model=request.param,
+    )
+    trainer = Trainer(reddit_mini, cfg)
+    trainer.fit(3)
+    return reddit_mini, trainer, cfg
+
+
+@pytest.fixture
+def dyn_engine(dyn_trained):
+    """Fresh engine per test (update_edges mutates graph and tables)."""
+    ds, trainer, cfg = dyn_trained
+    return InferenceEngine(ds, trainer.model, cfg).precompute()

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.graph.csr import CSRGraph
 from repro.graph.io import load_graph, save_graph
 
 
@@ -25,6 +26,37 @@ def test_extras_round_trip(tmp_path, tiny_graph):
     g2, extras = load_graph(path)  # extension optional on load
     assert np.array_equal(extras["features"], feats)
     assert np.array_equal(extras["labels"], labels)
+
+
+def test_extra_dtypes_survive_round_trip(tmp_path, tiny_graph):
+    """bool masks, float32 features, etc. must come back dtype-exact —
+    a bool mask silently widening to int8 breaks mask indexing."""
+    extras = {
+        "train_mask": np.array([True, False, True, False, True]),
+        "features": np.random.default_rng(0).random((5, 3)).astype(np.float32),
+        "weights": np.linspace(0, 1, 5, dtype=np.float64),
+        "codes": np.arange(5, dtype=np.int32),
+    }
+    path = str(tmp_path / "g.npz")
+    save_graph(path, tiny_graph, **extras)
+    _, loaded = load_graph(path)
+    for key, arr in extras.items():
+        assert loaded[key].dtype == arr.dtype, key
+        assert np.array_equal(loaded[key], arr), key
+
+
+def test_save_validates_before_writing(tmp_path, tiny_graph):
+    """A structurally-corrupt graph must fail at save time, before any
+    bytes land on disk — not at the next load."""
+    corrupt = object.__new__(CSRGraph)
+    object.__setattr__(corrupt, "indptr", np.array([0, 2, 5]))
+    object.__setattr__(corrupt, "indices", np.array([0, 1]))  # indptr[-1] != 2
+    object.__setattr__(corrupt, "edge_ids", np.array([0, 1]))
+    object.__setattr__(corrupt, "num_src", 2)
+    path = tmp_path / "corrupt.npz"
+    with pytest.raises(ValueError, match="indptr"):
+        save_graph(str(path), corrupt)
+    assert not path.exists()
 
 
 def test_reserved_name_rejected(tmp_path, tiny_graph):

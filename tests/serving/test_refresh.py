@@ -98,6 +98,50 @@ def test_refresh_stats_accounting(trained, engine):
     assert 0 < stats.affected_fraction <= 1.0
 
 
+def test_duplicate_ids_in_batch_dedupe_last_wins(trained, engine):
+    """Repeated vertex ids within one batch collapse to one write (the
+    last row, matching NumPy fancy-assignment) and one refresh."""
+    ds, _, _ = trained
+    rng = np.random.default_rng(4)
+    rows = rng.standard_normal((3, ds.feature_dim)).astype(np.float32)
+    ids = np.array([5, 9, 5])  # 5 appears twice; rows[2] must win
+    stats = IncrementalRefresher(engine, full_threshold=1.0).update_features(
+        ids, rows
+    )
+    assert stats.num_updated == 2  # distinct vertices only
+    assert np.array_equal(engine.features[5], rows[2])
+    assert np.array_equal(engine.features[9], rows[1])
+    truth = _updated_copy_engine(trained, np.array([5, 9]), rows[[2, 1]])
+    assert np.array_equal(engine.logits, truth.logits)
+
+
+def test_deferred_update_of_already_stale_vertex(trained, engine):
+    """Updating a vertex that is already stale must not grow the stale
+    set with duplicates, and the stale-aware path serves the newest
+    feature rows."""
+    ds, _, _ = trained
+    ref = IncrementalRefresher(engine, full_threshold=0.0, deferred=True)
+    rng = np.random.default_rng(9)
+    ids = np.array([3, 6])
+    rows_a = rng.standard_normal((2, ds.feature_dim)).astype(np.float32)
+    ref.update_features(ids, rows_a)
+    stale_after_first = np.array(ref.stale, copy=True)
+    assert np.isin(ids, stale_after_first).all()
+
+    rows_b = rng.standard_normal((2, ds.feature_dim)).astype(np.float32)
+    stats = ref.update_features(ids, rows_b)
+    assert stats.mode == "deferred"
+    # still sorted-unique: re-updating stale vertices adds no duplicates
+    assert np.array_equal(ref.stale, np.unique(ref.stale))
+    assert np.array_equal(ref.stale, stale_after_first)
+
+    truth = _updated_copy_engine(trained, ids, rows_b)  # latest rows win
+    probe = np.concatenate([ids, [int(ref.stale[-1])]])
+    assert np.array_equal(ref.predict(probe), truth.logits[probe])
+    ref.resolve()
+    assert np.array_equal(engine.logits, truth.logits)
+
+
 def test_update_shape_validation(engine):
     with pytest.raises(ValueError, match="new_rows shape"):
         IncrementalRefresher(engine).update_features(

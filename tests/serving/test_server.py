@@ -142,3 +142,53 @@ def test_http_error_handling(live_server):
     with pytest.raises(urllib.error.HTTPError) as err:
         _get(f"{base}/nope")
     assert err.value.code == 404
+
+
+def _post_raw(url, body: bytes):
+    req = urllib.request.Request(
+        url, data=body, method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        return resp.status, json.load(resp)
+
+
+def test_http_malformed_bodies_return_400_json(live_server):
+    """Every malformed body shape answers 400 with a JSON error body —
+    never a 500 traceback."""
+    _, base = live_server
+    raw_cases = [
+        b"{not json",              # invalid JSON
+        b"[1, 2]",                 # valid JSON, not an object
+        b'"vertices"',             # valid JSON, not an object
+    ]
+    for body in raw_cases:
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post_raw(f"{base}/predict", body)
+        assert err.value.code == 400, body
+        assert "error" in json.load(err.value), body
+    payload_cases = [
+        {"vertices": [1.5]},            # float id would truncate silently
+        {"vertices": ["7"]},            # string id
+        {"vertices": [True]},           # bool is not a vertex id
+        {"vertices": 3},                # not a list
+        {"vertices": [[1, 2]]},         # nested list
+        {"vertices": [0], "k": "two"},  # non-integer k
+        {"vertices": [0], "k": [2]},    # list k (used to be a 500)
+        {"vertices": [0], "k": 0},      # k < 1
+        {"vertices": [0, -1]},          # negative id
+        {"vertices": [10 ** 30]},       # overflows the index dtype
+    ]
+    for payload in payload_cases:
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(f"{base}/predict", payload)
+        assert err.value.code == 400, payload
+        assert "error" in json.load(err.value), payload
+
+
+def test_http_valid_requests_still_pass_strict_validation(live_server):
+    engine, base = live_server
+    status, resp = _post(f"{base}/predict", {"vertices": []})
+    assert status == 200 and resp["labels"] == []
+    status, resp = _post(f"{base}/predict", {"vertices": [0], "k": 1})
+    assert status == 200 and len(resp["topk"][0]) == 1

@@ -33,6 +33,7 @@ def test_all_subpackages_import():
     import repro.cachesim
     import repro.comm
     import repro.core
+    import repro.dyngraph
     import repro.graph
     import repro.kernels
     import repro.nn
@@ -43,6 +44,7 @@ def test_all_subpackages_import():
 
     for pkg in (
         repro.graph,
+        repro.dyngraph,
         repro.kernels,
         repro.cachesim,
         repro.partition,
@@ -76,10 +78,33 @@ def test_core_exports_checkpointing():
 
 
 def test_serving_public_surface():
-    from repro.serving import InferenceEngine, PredictionService
+    from repro.serving import EdgeUpdateStats, InferenceEngine, PredictionService
 
     assert callable(InferenceEngine.from_checkpoint)
     assert hasattr(PredictionService, "predict")
+    assert hasattr(PredictionService, "update_edges")
+    assert hasattr(EdgeUpdateStats, "to_json")
+
+
+def test_dyngraph_public_surface():
+    """Satellite of PR 5: the streaming subsystem's documented names."""
+    import numpy as np
+
+    from repro.dyngraph import DynamicGraph, LibraState, streaming_libra_partition
+    # re-exported where users look for them
+    from repro.graph import DynamicGraph as FromGraph
+    from repro.partition import LibraState as FromPartition
+
+    assert FromGraph is DynamicGraph and FromPartition is LibraState
+    from repro.graph import from_edge_list
+
+    dyn = DynamicGraph(from_edge_list([(0, 1), (1, 2)], num_vertices=3))
+    dyn.add_edge(2, 0)
+    assert dyn.num_edges == 3
+    state = LibraState(3, 2, seed=0)
+    assert state.assign([0, 1], [1, 2]).shape == (2,)
+    assert callable(streaming_libra_partition)
+    assert np.array_equal(dyn.csr().in_degrees(), dyn.in_degrees())
 
 
 def test_nn_exports_all_models():
