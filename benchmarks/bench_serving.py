@@ -1,18 +1,26 @@
 """Serving throughput/latency baseline -> ``BENCH_serving.json``.
 
 The repo's second perf-trajectory file (next to ``BENCH_kernels.json``):
-measures the online request path of :mod:`repro.serving` — requests per
-second and p50/p99 latency — across request batch sizes and cache
-configurations, over a Zipf-skewed request stream (heavy-traffic
-workloads hit a hot vertex set, which is what makes the LRU result
-cache pay).
+measures the online request path of :mod:`repro.serving` over a
+Zipf-skewed request stream (heavy-traffic workloads hit a hot vertex
+set, which is what makes the LRU result cache pay).
 
-Three request modes per (batch size, cache) cell:
+Three series (schema v2):
 
-- ``direct``   synchronous ``PredictionService.predict_logits`` calls —
-  the floor: one table gather per request.
-- ``batched``  4 client threads submitting through the micro-batcher —
-  measures the coalescing path including its queueing latency tax.
+- ``results`` — closed-loop floor, as in schema v1: ``direct``
+  synchronous ``predict_logits`` calls and ``batched`` micro-batcher
+  clients across (batch size, cache) cells.
+- ``offered_load`` — **open-loop** latency-vs-offered-load curves
+  through the bounded :class:`~repro.serving.frontend.ServingFrontend`:
+  seeded Poisson and bursty (MMPP) arrivals swept across fractions and
+  multiples of the measured closed-loop capacity, reporting offered vs
+  achieved req/s, p50/p99 from scheduled arrival time (no coordinated
+  omission), and reject/timeout rates — the saturation knee is where
+  achieved flattens and p99/rejects take off.
+- ``ingest_while_serving`` — sustained predict/topk traffic at half
+  capacity while a background ingester applies a continuous stream of
+  edge updates (each one a graceful drain + incremental refresh):
+  the cost of mutation-while-serving in latency and shed requests.
 
 Usage::
 
@@ -40,12 +48,25 @@ from repro.core import TrainConfig, Trainer, save_checkpoint  # noqa: E402
 from repro.core.checkpoint import training_meta  # noqa: E402
 from repro.graph.datasets import load_dataset  # noqa: E402
 from repro.serving import (  # noqa: E402
+    IncrementalRefresher,
     InferenceEngine,
     PredictionService,
     ResultCache,
+    ServingFrontend,
+)
+from repro.serving.loadgen import (  # noqa: E402
+    ARRIVALS,
+    FrontendTarget,
+    build_schedule,
+    run_open_loop,
 )
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: open-loop sweep mix: reads only — every update quiesces the pool, so
+#: even a 2% update share at N× capacity is a drain storm that floors
+#: the whole curve; mutation-while-serving cost is its own series.
+SWEEP_MIX = {"predict": 0.75, "topk": 0.25}
 
 
 def _zipf_stream(rng, num_vertices: int, size: int, skew: float = 1.1) -> np.ndarray:
@@ -131,6 +152,167 @@ def _make_engine(args):
     return ds, engine, time.perf_counter() - t0
 
 
+# -- open-loop series (schema v2) -------------------------------------------------
+
+
+def _fresh_frontend(engine, args) -> ServingFrontend:
+    """The production composition behind one rate point: cache +
+    micro-batcher + incremental refresher + bounded frontend."""
+    service = PredictionService(
+        engine,
+        cache=ResultCache(args.cache_size),
+        batch=True,
+        max_batch=64,
+        max_wait_ms=0.5,
+        refresher=IncrementalRefresher(engine),
+    )
+    return ServingFrontend(
+        service,
+        num_workers=args.workers,
+        max_queue=args.max_queue,
+        default_timeout_s=args.request_timeout,
+    )
+
+
+def _estimate_capacity(engine, args, duration_s: float) -> float:
+    """Closed-loop ceiling (req/s): ``workers`` clients re-issuing
+    batch-8 predicts as fast as the service answers.  The offered-load
+    sweep expresses its rates as fractions/multiples of this number, so
+    the knee lands inside the swept range on any machine."""
+    frontend = _fresh_frontend(engine, args)
+    svc = frontend.service
+    rng = np.random.default_rng(args.seed + 13)
+    stream = _zipf_stream(rng, engine.num_vertices, 4096)
+    counts = [0] * args.workers
+    deadline = time.perf_counter() + duration_s
+
+    def client(c: int) -> None:
+        i = c
+        while time.perf_counter() < deadline:
+            ids = stream[(i * 8) % 4088 : (i * 8) % 4088 + 8]
+            frontend.call("predict", lambda: svc.predict_logits(ids))
+            counts[c] += 1
+            i += args.workers
+
+    threads = [threading.Thread(target=client, args=(c,)) for c in range(args.workers)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    frontend.close()
+    svc.close()
+    return sum(counts) / elapsed
+
+
+def _dispatch_ceiling(args, duration_s: float = 0.5) -> float:
+    """Max req/s the open-loop generator itself can fire (null target).
+
+    At small bench scales the engine outruns a Python dispatcher; rate
+    points above this ceiling would measure the generator, not the
+    server, so the sweep base is capped well below it."""
+    rng = np.random.default_rng(1)
+    arrivals = ARRIVALS["poisson"](50_000.0, duration_s, rng)
+    schedule = build_schedule(arrivals, 100, rng, mix={"predict": 1.0},
+                              batch_size=8)
+    report = run_open_loop(
+        lambda req: None, schedule, num_clients=args.loadgen_clients
+    )
+    return report.offered / max(report.elapsed_s, 1e-9)
+
+
+def _run_offered_point(engine, args, arrival: str, rate: float,
+                       duration_s: float, seed: int) -> dict:
+    """One (arrival process, offered rate) point through a fresh stack."""
+    frontend = _fresh_frontend(engine, args)
+    try:
+        rng = np.random.default_rng(seed)
+        arrivals = ARRIVALS[arrival](rate, duration_s, rng)
+        schedule = build_schedule(
+            arrivals, engine.num_vertices, rng, mix=SWEEP_MIX, batch_size=8
+        )
+        report = run_open_loop(
+            FrontendTarget(frontend), schedule, num_clients=args.loadgen_clients
+        )
+    finally:
+        frontend.close()
+        frontend.service.close()
+    s = report.summary()
+    return {
+        "arrival": arrival,
+        "target_rps": rate,
+        "offered": s["offered"],
+        "offered_rps": s["offered_rps"],
+        "achieved_rps": s["achieved_rps"],
+        "ok": s["ok"],
+        "rejected": s["rejected"],
+        "timeouts": s["timeouts"],
+        "errors": s["errors"],
+        "reject_rate": s["reject_rate"],
+        "timeout_rate": s["timeout_rate"],
+        "p50_ms": s["p50_ms"],
+        "p99_ms": s["p99_ms"],
+    }
+
+
+def _run_ingest_while_serving(engine, args, rate: float,
+                              duration_s: float) -> dict:
+    """Read traffic at ``rate`` while a background ingester applies a
+    continuous edge-update stream (drain + incremental refresh each)."""
+    frontend = _fresh_frontend(engine, args)
+    svc = frontend.service
+    stop = threading.Event()
+    updates_applied = [0]
+    update_errors = [0]
+
+    def ingester() -> None:
+        rng = np.random.default_rng(args.seed + 101)
+        while not stop.is_set():
+            edges = rng.integers(0, engine.num_vertices, size=(8, 2))
+            try:
+                frontend.update_edges(add=edges)
+                updates_applied[0] += 1
+            except Exception:  # noqa: BLE001 — counted, bench must finish
+                update_errors[0] += 1
+            stop.wait(0.05)
+
+    t = threading.Thread(target=ingester, name="bench-ingester", daemon=True)
+    try:
+        rng = np.random.default_rng(args.seed + 31)
+        arrivals = ARRIVALS["poisson"](rate, duration_s, rng)
+        schedule = build_schedule(
+            arrivals, engine.num_vertices, rng,
+            mix={"predict": 0.75, "topk": 0.25}, batch_size=8,
+        )
+        t.start()
+        report = run_open_loop(
+            FrontendTarget(frontend), schedule, num_clients=args.loadgen_clients
+        )
+    finally:
+        stop.set()
+        t.join(timeout=30.0)
+        snap = frontend.metrics_snapshot()
+        frontend.close()
+        svc.close()
+    s = report.summary()
+    update_ep = snap["endpoints"].get("update_edges", {})
+    return {
+        "target_rps": rate,
+        "duration_s": duration_s,
+        "offered": s["offered"],
+        "achieved_rps": s["achieved_rps"],
+        "reject_rate": s["reject_rate"],
+        "p50_ms": s["p50_ms"],
+        "p99_ms": s["p99_ms"],
+        "updates_applied": updates_applied[0],
+        "update_errors": update_errors[0],
+        "update_p50_ms": update_ep.get("p50_ms", 0.0),
+        "update_p99_ms": update_ep.get("p99_ms", 0.0),
+        "num_drains": snap["num_drains"],
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--dataset", default="ogbn-products")
@@ -141,6 +323,22 @@ def main(argv=None) -> int:
                     help="request-stream length in vertices per config")
     ap.add_argument("--cache-size", type=int, default=2048)
     ap.add_argument("--batch-sizes", type=int, nargs="+", default=[1, 16, 128])
+    ap.add_argument("--workers", type=int, default=4,
+                    help="frontend worker-pool size for the open-loop series")
+    ap.add_argument("--max-queue", type=int, default=16,
+                    help="frontend admission-queue bound (kept below "
+                    "--loadgen-clients so saturation actually sheds)")
+    ap.add_argument("--request-timeout", type=float, default=5.0,
+                    help="per-request deadline in the open-loop series")
+    ap.add_argument("--loadgen-clients", type=int, default=32,
+                    help="open-loop client threads")
+    ap.add_argument("--sweep-fractions", type=float, nargs="+",
+                    default=[0.25, 0.5, 0.75, 1.0, 1.5, 2.0],
+                    help="offered rates as fractions of measured capacity")
+    ap.add_argument("--point-duration", type=float, default=3.0,
+                    help="seconds per offered-load rate point")
+    ap.add_argument("--ingest-duration", type=float, default=5.0,
+                    help="seconds for the ingest-while-serving series")
     ap.add_argument("--smoke", action="store_true",
                     help="tiny run for CI schema validation")
     args = ap.parse_args(argv)
@@ -149,6 +347,9 @@ def main(argv=None) -> int:
         args.requests = 200
         args.batch_sizes = [1, 16]
         args.train_epochs = 1
+        args.sweep_fractions = [0.5, 2.0]
+        args.point_duration = 0.6
+        args.ingest_duration = 1.0
 
     ds, engine, precompute_s = _make_engine(args)
     rng = np.random.default_rng(args.seed + 7)
@@ -184,6 +385,40 @@ def main(argv=None) -> int:
                     **measured,
                 })
 
+    # -- open-loop offered-load sweep (schema v2) ---------------------------------
+    capacity_rps = _estimate_capacity(
+        engine, args, duration_s=min(args.point_duration, 2.0)
+    )
+    ceiling_rps = _dispatch_ceiling(args)
+    # keep every swept rate honestly generatable: the top fraction (2x)
+    # must still sit below the dispatcher's own ceiling
+    sweep_base_rps = min(capacity_rps, 0.4 * ceiling_rps)
+    print(f"closed-loop capacity estimate: {capacity_rps:.0f} req/s")
+    print(f"loadgen dispatch ceiling     : {ceiling_rps:.0f} req/s")
+    print(f"sweep base (1.0x)            : {sweep_base_rps:.0f} req/s")
+    offered_rows = []
+    for arrival in ("poisson", "bursty"):
+        for frac in args.sweep_fractions:
+            point = _run_offered_point(
+                engine, args, arrival,
+                rate=frac * sweep_base_rps,
+                duration_s=args.point_duration,
+                seed=args.seed + int(1000 * frac),
+            )
+            point["rate_fraction"] = frac
+            offered_rows.append(point)
+            print(
+                f"  {arrival:<8s} {frac:>4.2f}x: offered "
+                f"{point['offered_rps']:7.1f} achieved "
+                f"{point['achieved_rps']:7.1f} req/s  "
+                f"p99 {point['p99_ms']:7.2f} ms  "
+                f"reject {100 * point['reject_rate']:5.1f}%"
+            )
+
+    ingest_row = _run_ingest_while_serving(
+        engine, args, rate=0.5 * sweep_base_rps, duration_s=args.ingest_duration
+    )
+
     payload = {
         "schema_version": SCHEMA_VERSION,
         "dataset": ds.name,
@@ -194,6 +429,17 @@ def main(argv=None) -> int:
         "precompute_s": precompute_s,
         "smoke": bool(args.smoke),
         "results": rows,
+        "frontend": {
+            "workers": args.workers,
+            "max_queue": args.max_queue,
+            "request_timeout_s": args.request_timeout,
+            "loadgen_clients": args.loadgen_clients,
+        },
+        "capacity_rps": capacity_rps,
+        "dispatch_ceiling_rps": ceiling_rps,
+        "sweep_base_rps": sweep_base_rps,
+        "offered_load": offered_rows,
+        "ingest_while_serving": ingest_row,
     }
     path = emit_json("serving", payload)
     emit(
@@ -210,7 +456,30 @@ def main(argv=None) -> int:
             ],
         ),
     )
+    emit(
+        "serving_offered_load_table",
+        table(
+            ["arrival", "x cap", "offered/s", "achieved/s",
+             "p50 ms", "p99 ms", "reject%", "timeout%"],
+            [
+                [
+                    r["arrival"], f"{r['rate_fraction']:.2f}",
+                    f"{r['offered_rps']:.0f}", f"{r['achieved_rps']:.0f}",
+                    f"{r['p50_ms']:.2f}", f"{r['p99_ms']:.2f}",
+                    f"{100 * r['reject_rate']:.1f}",
+                    f"{100 * r['timeout_rate']:.1f}",
+                ]
+                for r in offered_rows
+            ],
+        ),
+    )
     print(f"\nprecompute: {precompute_s:.3f}s for {ds.num_vertices} vertices")
+    print(
+        f"ingest-while-serving: {ingest_row['achieved_rps']:.1f} req/s with "
+        f"{ingest_row['updates_applied']} updates "
+        f"({ingest_row['num_drains']} drains), "
+        f"p99 {ingest_row['p99_ms']:.2f} ms"
+    )
     print(f"wrote {path}")
     return 0
 

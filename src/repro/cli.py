@@ -15,6 +15,11 @@ Commands
 ``ingest``     streaming topology ingestion: replay a held-out edge
                suffix through the delta-CSR dynamic graph and the
                online Libra partitioner, with drift + compaction report.
+``loadgen``    open-loop load generator: seeded Poisson or bursty
+               arrivals over mixed predict/topk/update traffic, against
+               a running server (``--url``) or an in-process service
+               built from a checkpoint; reports offered vs achieved
+               throughput, p50/p99 latency, and reject/timeout rates.
 """
 
 from __future__ import annotations
@@ -120,6 +125,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="edge/feature updates whose affected set exceeds this "
         "fraction of the graph trigger a full precompute instead of an "
         "incremental refresh",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=4,
+        help="request-execution worker pool size",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=256,
+        help="admission queue bound; requests beyond it answer 429",
+    )
+    p_serve.add_argument(
+        "--request-timeout", type=float, default=30.0,
+        help="per-request deadline in seconds (missed deadlines answer 503)",
+    )
+
+    p_load = sub.add_parser("loadgen", help="open-loop serving load generator")
+    _dataset_args(p_load)
+    target = p_load.add_mutually_exclusive_group(required=True)
+    target.add_argument(
+        "--url", default=None, metavar="BASE",
+        help="drive a running server, e.g. http://127.0.0.1:8080",
+    )
+    target.add_argument(
+        "--checkpoint", default=None,
+        help="build an in-process service from this checkpoint instead",
+    )
+    p_load.add_argument("--rate", type=float, default=50.0, help="offered req/s")
+    p_load.add_argument("--duration", type=float, default=10.0, help="seconds")
+    p_load.add_argument(
+        "--arrival", choices=("poisson", "bursty"), default="poisson"
+    )
+    p_load.add_argument(
+        "--mix", default=None, metavar="SPEC",
+        help="endpoint mix, e.g. predict=0.7,topk=0.25,update_edges=0.05",
+    )
+    p_load.add_argument("--clients", type=int, default=32, help="client threads")
+    p_load.add_argument("--batch-size", type=int, default=8,
+                        help="vertices per predict/topk request")
+    p_load.add_argument("--k", type=int, default=3, help="top-k for topk requests")
+    p_load.add_argument(
+        "--workers", type=int, default=4,
+        help="in-process frontend worker pool size (--checkpoint mode)",
+    )
+    p_load.add_argument(
+        "--max-queue", type=int, default=256,
+        help="in-process admission queue bound (--checkpoint mode)",
+    )
+    p_load.add_argument(
+        "--request-timeout", type=float, default=30.0,
+        help="per-request deadline in seconds",
+    )
+    p_load.add_argument(
+        "--num-threads", type=int, default=None,
+        help="kernel worker threads for the in-process precompute",
     )
 
     p_ing = sub.add_parser("ingest", help="streaming edge ingestion")
@@ -290,11 +348,11 @@ def cmd_predict(args) -> int:
     return 0
 
 
-def cmd_serve(args) -> int:  # pragma: no cover - interactive loop
+def _build_service(args):
+    """Checkpoint -> (dataset, composed PredictionService) for serve/loadgen."""
     from repro.serving import (
         IncrementalRefresher,
         InferenceEngine,
-        PredictionServer,
         PredictionService,
         ResultCache,
     )
@@ -304,31 +362,135 @@ def cmd_serve(args) -> int:  # pragma: no cover - interactive loop
         args.checkpoint, ds, num_threads=args.num_threads
     )
     engine.precompute()
+    cache_size = getattr(args, "cache_size", 4096)
+    max_batch = getattr(args, "max_batch", 256)
     service = PredictionService(
         engine,
-        cache=ResultCache(args.cache_size) if args.cache_size > 0 else None,
-        batch=args.max_batch > 0,
-        max_batch=max(args.max_batch, 1),
-        max_wait_ms=args.max_wait_ms,
+        cache=ResultCache(cache_size) if cache_size > 0 else None,
+        batch=max_batch > 0,
+        max_batch=max(max_batch, 1),
+        max_wait_ms=getattr(args, "max_wait_ms", 2.0),
         # edge/feature updates refresh incrementally below the threshold
         refresher=IncrementalRefresher(
-            engine, full_threshold=args.full_threshold
+            engine, full_threshold=getattr(args, "full_threshold", 0.25)
         ),
     )
-    server = PredictionServer(service, host=args.host, port=args.port, verbose=True)
+    return ds, service
+
+
+def cmd_serve(args) -> int:  # pragma: no cover - interactive loop
+    from repro.serving import PredictionServer, ServingFrontend
+
+    ds, service = _build_service(args)
+    engine = service.engine
+    frontend = ServingFrontend(
+        service,
+        num_workers=args.workers,
+        max_queue=args.max_queue,
+        default_timeout_s=args.request_timeout,
+    )
+    server = PredictionServer(
+        service, host=args.host, port=args.port, verbose=True, frontend=frontend
+    )
     host, port = server.address
     print(f"serving {ds.name} ({engine.model_kind}, {engine.num_vertices} vertices)")
-    print(f"  POST http://{host}:{port}/predict        "
+    print(f"  {args.workers} workers, queue bound {args.max_queue}, "
+          f"{args.request_timeout:g}s deadline")
+    print(f"  POST http://{host}:{port}/predict          "
           '{"vertices": [0, 1], "k": 3}')
-    print(f"  POST http://{host}:{port}/update_edges   "
+    print(f"  POST http://{host}:{port}/update_edges     "
           '{"add": [[0, 1]], "remove": [[2, 3]]}')
+    print(f"  POST http://{host}:{port}/update_features  "
+          '{"vertices": [0], "features": [[...]]}')
     print(f"  GET  http://{host}:{port}/stats")
+    print(f"  GET  http://{host}:{port}/metrics")
     print(f"  GET  http://{host}:{port}/healthz")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down")
         server.shutdown()
+    return 0
+
+
+def _parse_mix(spec):
+    """``predict=0.7,topk=0.3`` -> weight dict (loadgen normalizes)."""
+    if spec is None:
+        return None
+    mix = {}
+    for part in spec.split(","):
+        name, _, weight = part.partition("=")
+        if not _ or not name.strip():
+            raise ValueError(f"bad --mix entry {part!r} (want endpoint=weight)")
+        mix[name.strip()] = float(weight)
+    return mix
+
+
+def cmd_loadgen(args) -> int:
+    from repro.serving.loadgen import (
+        ARRIVALS,
+        FrontendTarget,
+        HttpTarget,
+        build_schedule,
+        run_open_loop,
+    )
+
+    try:
+        mix = _parse_mix(args.mix)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    arrivals = ARRIVALS[args.arrival](args.rate, args.duration, rng)
+
+    frontend = None
+    try:
+        if args.url:
+            import json
+            from urllib.request import urlopen
+
+            base = args.url.rstrip("/")
+            with urlopen(f"{base}/stats", timeout=10.0) as resp:
+                num_vertices = json.load(resp)["engine"]["num_vertices"]
+            target = HttpTarget(base, timeout_s=args.request_timeout)
+        else:
+            from repro.serving import ServingFrontend
+
+            _, service = _build_service(args)
+            frontend = ServingFrontend(
+                service,
+                num_workers=args.workers,
+                max_queue=args.max_queue,
+                default_timeout_s=args.request_timeout,
+            )
+            num_vertices = service.engine.num_vertices
+            target = FrontendTarget(frontend)
+
+        schedule = build_schedule(
+            arrivals, num_vertices, rng, mix=mix,
+            batch_size=args.batch_size, k=args.k,
+        )
+        print(f"{args.arrival} arrivals: {len(schedule)} requests over "
+              f"{args.duration:g}s at {args.rate:g} req/s offered")
+        report = run_open_loop(target, schedule, num_clients=args.clients)
+    finally:
+        if frontend is not None:
+            frontend.close()
+            frontend.service.close()
+
+    s = report.summary()
+    print(f"offered       : {s['offered']} requests ({s['offered_rps']:.1f} req/s)")
+    print(f"achieved      : {s['ok']} ok ({s['achieved_rps']:.1f} req/s)")
+    print(f"latency (ok)  : p50 {s['p50_ms']:.2f} ms  p99 {s['p99_ms']:.2f} ms  "
+          f"mean {s['mean_ms']:.2f} ms")
+    print(f"rejected      : {s['rejected']} ({100 * s['reject_rate']:.1f}%)  "
+          f"[queue_full {s['rejected_queue_full']}, "
+          f"draining {s['rejected_draining']}]")
+    print(f"timeouts      : {s['timeouts']}  errors: {s['errors']}  "
+          f"bad requests: {s['bad_request']}")
+    for name, ep in sorted(s["per_endpoint"].items()):
+        print(f"  {name:<16s} {ep['ok']:>6d} ok / {ep['requests']:>6d}  "
+              f"p50 {ep['p50_ms']:.2f} ms  p99 {ep['p99_ms']:.2f} ms")
     return 0
 
 
@@ -446,6 +608,7 @@ COMMANDS = {
     "predict": cmd_predict,
     "serve": cmd_serve,
     "ingest": cmd_ingest,
+    "loadgen": cmd_loadgen,
 }
 
 

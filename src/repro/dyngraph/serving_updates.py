@@ -53,9 +53,16 @@ def as_edge_pairs(edges, what: str) -> Tuple[np.ndarray, np.ndarray]:
         empty = np.zeros(0, dtype=INDEX_DTYPE)
         return empty, empty
     try:
-        pairs = np.asarray(edges, dtype=INDEX_DTYPE)
+        raw = np.asarray(edges)
     except (TypeError, ValueError, OverflowError) as exc:
         raise ValueError(f"{what} must be (src, dst) integer pairs: {exc}")
+    # strictly-integer endpoints: a float pair would truncate silently
+    # (mutating the wrong edge), and bools are not vertex ids
+    if raw.size and raw.dtype.kind not in "iu":
+        raise ValueError(
+            f"{what} must be (src, dst) integer pairs, got dtype {raw.dtype}"
+        )
+    pairs = raw.astype(INDEX_DTYPE)
     if pairs.size == 0:
         empty = np.zeros(0, dtype=INDEX_DTYPE)
         return empty, empty

@@ -18,6 +18,16 @@ request is a table lookup.
   LRU over result rows (the real counterpart of :mod:`repro.cachesim`).
 - :mod:`repro.serving.server` — :class:`PredictionService` composition
   and the stdlib HTTP endpoint (``repro serve``).
+- :mod:`repro.serving.frontend` — :class:`ServingFrontend`: bounded
+  admission queue + worker pool, per-endpoint deadlines, graceful drain
+  around table rewrites (429/503 + ``Retry-After`` load shedding).
+- :mod:`repro.serving.gate` — :class:`ReadWriteGate`: writer-preferred
+  reader-writer exclusion so in-place table rewrites never tear a read.
+- :mod:`repro.serving.metrics` — :class:`ServingMetrics`: per-endpoint
+  outcome counters and latency quantiles behind ``GET /metrics``.
+- :mod:`repro.serving.loadgen` — open-loop load generator (Poisson and
+  bursty MMPP arrivals, seeded schedules, coordinated-omission-free
+  latency accounting); drives ``repro loadgen`` and the serving bench.
 
 Topology is not frozen either: ``update_edges(add, remove)`` on the
 refresher/service (backed by :mod:`repro.dyngraph.serving_updates`)
@@ -30,6 +40,26 @@ from repro.dyngraph.serving_updates import EdgeUpdateStats
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import ResultCache
 from repro.serving.engine import InferenceEngine, full_graph_forward
+from repro.serving.frontend import (
+    RequestRejected,
+    RequestTimeout,
+    ServiceDraining,
+    ServingFrontend,
+    ServingUnavailable,
+)
+from repro.serving.gate import ReadWriteGate
+from repro.serving.loadgen import (
+    FrontendTarget,
+    HttpTarget,
+    LoadReport,
+    ScheduledRequest,
+    VirtualClock,
+    build_schedule,
+    bursty_arrivals,
+    poisson_arrivals,
+    run_open_loop,
+)
+from repro.serving.metrics import ServingMetrics, percentiles_ms
 from repro.serving.refresh import (
     IncrementalRefresher,
     OnDemandInference,
@@ -50,4 +80,21 @@ __all__ = [
     "PredictionService",
     "PredictionServer",
     "EdgeUpdateStats",
+    "ServingFrontend",
+    "ServingUnavailable",
+    "RequestRejected",
+    "RequestTimeout",
+    "ServiceDraining",
+    "ReadWriteGate",
+    "ServingMetrics",
+    "percentiles_ms",
+    "FrontendTarget",
+    "HttpTarget",
+    "LoadReport",
+    "ScheduledRequest",
+    "VirtualClock",
+    "build_schedule",
+    "bursty_arrivals",
+    "poisson_arrivals",
+    "run_open_loop",
 ]

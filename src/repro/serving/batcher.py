@@ -91,6 +91,11 @@ class MicroBatcher:
         """Synchronous convenience wrapper around :meth:`submit`."""
         return self.submit(vertex_ids).result(timeout=timeout)
 
+    def pending(self) -> int:
+        """Requests queued but not yet picked into a batch (a queue-depth
+        gauge for ``/metrics``; approximate by nature)."""
+        return self._queue.qsize()
+
     def close(self) -> None:
         """Stop the worker after the current batch; idempotent."""
         with self._lock:
@@ -179,6 +184,7 @@ class MicroBatcher:
                 "vertices_submitted": submitted,
                 "vertices_computed": computed,
                 "coalesced_vertices": submitted - computed,
+                "pending": self._queue.qsize(),
                 "max_batch": self.max_batch,
                 "max_wait_ms": self.max_wait_s * 1000.0,
             }

@@ -37,6 +37,10 @@ class ResultCache:
         self.capacity = int(capacity)
         self._rows: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self._lock = threading.Lock()
+        #: conservation invariant (checked under contention by the
+        #: serving stress suite): ``hits + misses == lookups`` always —
+        #: all three move inside one critical section per access.
+        self.lookups = 0
         self.hits = 0
         self.misses = 0
 
@@ -54,6 +58,7 @@ class ResultCache:
 
     def get(self, vertex_id: int) -> Optional[np.ndarray]:
         with self._lock:
+            self.lookups += 1
             row = self._rows.get(int(vertex_id))
             if row is None:
                 self.misses += 1
@@ -88,6 +93,7 @@ class ResultCache:
         found: dict = {}
         missing = []
         with self._lock:
+            self.lookups += ids.size
             rows = self._rows
             for key in ids.tolist():
                 row = rows.get(key)
@@ -127,6 +133,7 @@ class ResultCache:
     def reset(self) -> None:
         with self._lock:
             self._rows.clear()
+            self.lookups = 0
             self.hits = 0
             self.misses = 0
 
@@ -134,11 +141,13 @@ class ResultCache:
         # One consistent snapshot: size and the counters are read under
         # the lock so a concurrent put/get can't skew the reported rate.
         with self._lock:
+            lookups = self.lookups
             hits, misses, size = self.hits, self.misses, len(self._rows)
         accesses = hits + misses
         return {
             "capacity": self.capacity,
             "size": size,
+            "lookups": lookups,
             "hits": hits,
             "misses": misses,
             "hit_rate": hits / accesses if accesses else 0.0,

@@ -1,0 +1,361 @@
+"""Bounded worker-pool front end for the online request path.
+
+``ThreadingHTTPServer`` spawns one thread per connection — under open-
+loop traffic that is an unbounded admission policy, and the saturation
+failure mode is collapse (every request slow) instead of shedding.
+:class:`ServingFrontend` puts a real admission queue in front of the
+:class:`~repro.serving.server.PredictionService`:
+
+- **bounded queue + worker pool**: at most ``max_queue`` requests wait
+  and ``num_workers`` execute; beyond that, admission fails fast with
+  :class:`RequestRejected` (HTTP 429 + ``Retry-After``);
+- **per-endpoint deadlines**: a request that misses its deadline answers
+  :class:`RequestTimeout` (HTTP 503) — if it is still queued it is
+  cancelled and never executes, if it is mid-engine the worker finishes
+  the call in the background and moves on (workers never wedge);
+- **graceful drain**: table rewrites (``update_edges`` /
+  ``update_features``) quiesce through :meth:`drained` — admission
+  closes (:class:`ServiceDraining`, HTTP 503 + ``Retry-After``),
+  in-flight requests complete, the update runs alone, serving resumes;
+- **measured**: every request lands in exactly one
+  :class:`~repro.serving.metrics.ServingMetrics` outcome bucket, and
+  queue depth / in-flight count / drain state are exposed as gauges.
+
+The pool composes with the :class:`~repro.serving.batcher.MicroBatcher`
+underneath: workers submit into the batcher, which coalesces concurrent
+lookups into single engine gathers exactly as before.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeout
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import queue
+
+from repro.serving.metrics import ServingMetrics
+
+
+class ServingUnavailable(RuntimeError):
+    """Base class for load-shedding outcomes (429/503, never a 500)."""
+
+    #: HTTP status the server maps this to.
+    status = 503
+    #: metrics outcome bucket.
+    outcome = "error"
+
+    def __init__(self, message: str, retry_after_s: float = 0.0):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class RequestRejected(ServingUnavailable):
+    """Admission queue at capacity — shed load instead of queueing."""
+
+    status = 429
+    outcome = "rejected_queue_full"
+
+
+class ServiceDraining(ServingUnavailable):
+    """Quiesced for a table rewrite; retry after the update lands."""
+
+    status = 503
+    outcome = "rejected_draining"
+
+
+class RequestTimeout(ServingUnavailable):
+    """Admitted but missed its per-endpoint deadline."""
+
+    status = 503
+    outcome = "timeout"
+
+
+_STOP = object()
+
+
+@dataclass
+class _WorkItem:
+    endpoint: str
+    fn: Callable[[], object]
+    future: Future = field(default_factory=Future)
+
+
+class ServingFrontend:
+    """Admission control + worker pool over a ``PredictionService``.
+
+    Parameters
+    ----------
+    service:
+        The composed request path (engine / cache / batcher / refresher).
+    num_workers:
+        Concurrent request executions (engine calls run threaded
+        underneath when the kernel engine is configured for it).
+    max_queue:
+        Admitted-but-not-executing bound; beyond it requests answer 429.
+    default_timeout_s / timeouts:
+        Per-request deadline, overridable per endpoint
+        (``timeouts={"predict": 0.5}``).
+    retry_after_s:
+        Hint returned with 429/503 answers (surfaced as the HTTP
+        ``Retry-After`` header, rounded up to whole seconds there).
+    drain_timeout_s:
+        Upper bound on waiting for in-flight requests during a drain; a
+        request stuck past it fails the drain rather than wedging every
+        future update.
+    """
+
+    def __init__(
+        self,
+        service,
+        num_workers: int = 4,
+        max_queue: int = 256,
+        default_timeout_s: float = 30.0,
+        timeouts: Optional[Dict[str, float]] = None,
+        retry_after_s: float = 0.05,
+        drain_timeout_s: float = 30.0,
+        metrics: Optional[ServingMetrics] = None,
+    ):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if default_timeout_s <= 0:
+            raise ValueError("default_timeout_s must be > 0")
+        self.service = service
+        self.num_workers = int(num_workers)
+        self.max_queue = int(max_queue)
+        self.default_timeout_s = float(default_timeout_s)
+        self.timeouts = dict(timeouts or {})
+        self.retry_after_s = float(retry_after_s)
+        self.drain_timeout_s = float(drain_timeout_s)
+        self.metrics = metrics if metrics is not None else ServingMetrics()
+
+        self._queue: "queue.Queue" = queue.Queue()
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._depth = 0       # admitted, waiting for a worker
+        self._in_flight = 0   # executing on a worker
+        self._draining = False
+        self._closed = False
+        self._drain_serial = threading.Lock()  # one drain at a time
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-worker-{i}", daemon=True
+            )
+            for i in range(self.num_workers)
+        ]
+        for w in self._workers:
+            w.start()
+
+    # -- gauges -------------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def timeout_for(self, endpoint: str) -> float:
+        return float(self.timeouts.get(endpoint, self.default_timeout_s))
+
+    # -- request path -------------------------------------------------------------
+
+    def _admit(self, endpoint: str, fn: Callable[[], object]) -> _WorkItem:
+        item = _WorkItem(endpoint=endpoint, fn=fn)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ServingFrontend is closed")
+            if self._draining:
+                raise ServiceDraining(
+                    f"{endpoint}: serving is draining for an update",
+                    retry_after_s=self.retry_after_s,
+                )
+            if self._depth >= self.max_queue:
+                raise RequestRejected(
+                    f"{endpoint}: admission queue full "
+                    f"({self.max_queue} requests waiting)",
+                    retry_after_s=self.retry_after_s,
+                )
+            self._depth += 1
+        self._queue.put(item)
+        return item
+
+    def call(self, endpoint: str, fn: Callable[[], object], timeout_s=None):
+        """Execute ``fn`` on the pool under admission control.
+
+        Returns ``fn()``'s result, or raises: :class:`RequestRejected` /
+        :class:`ServiceDraining` / :class:`RequestTimeout` on shedding,
+        or whatever ``fn`` raised (``ValueError`` stays a 400 upstream).
+        Every path records exactly one metrics outcome.
+        """
+        timeout = self.timeout_for(endpoint) if timeout_s is None else float(timeout_s)
+        t0 = time.perf_counter()
+        try:
+            item = self._admit(endpoint, fn)
+        except ServingUnavailable as exc:
+            self.metrics.record(endpoint, exc.outcome)
+            raise
+        try:
+            result = item.future.result(timeout=timeout)
+        except FutureTimeout:
+            # still queued -> cancel so it never executes; already
+            # running -> the worker finishes in the background
+            item.future.cancel()
+            self.metrics.record(endpoint, "timeout")
+            raise RequestTimeout(
+                f"{endpoint}: timed out after {timeout:g}s",
+                retry_after_s=self.retry_after_s,
+            ) from None
+        except (ValueError, OverflowError):
+            self.metrics.record(endpoint, "bad_request")
+            raise
+        except Exception:
+            self.metrics.record(endpoint, "error")
+            raise
+        self.metrics.record(endpoint, "ok", latency_s=time.perf_counter() - t0)
+        return result
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            with self._lock:
+                self._depth -= 1
+                if not item.future.set_running_or_notify_cancel():
+                    # caller gave up while the item was queued
+                    self._idle.notify_all()
+                    continue
+                self._in_flight += 1
+            try:
+                result = item.fn()
+            except BaseException as exc:  # noqa: BLE001 — delivered to the caller
+                item.future.set_exception(exc)
+            else:
+                item.future.set_result(result)
+            finally:
+                with self._lock:
+                    self._in_flight -= 1
+                    self._idle.notify_all()
+
+    # -- drain / updates ----------------------------------------------------------
+
+    @contextmanager
+    def drained(self):
+        """Quiesce the pool: close admission, wait for queued + in-flight
+        requests to finish, run the body alone, reopen.
+
+        New requests observe :class:`ServiceDraining` (503) for the whole
+        window, and ``/healthz`` flips to ``draining``.  Raises
+        ``TimeoutError`` if in-flight work outlives ``drain_timeout_s``
+        (admission reopens — a stuck request must not brick the server).
+        """
+        with self._drain_serial:
+            with self._lock:
+                self._draining = True
+            try:
+                deadline = time.monotonic() + self.drain_timeout_s
+                with self._idle:
+                    while self._depth or self._in_flight:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not self._idle.wait(timeout=remaining):
+                            raise TimeoutError(
+                                f"drain timed out after {self.drain_timeout_s:g}s "
+                                f"({self._depth} queued, {self._in_flight} in flight)"
+                            )
+                self.metrics.record_drain()
+                yield
+            finally:
+                with self._lock:
+                    self._draining = False
+
+    def update_edges(self, add=None, remove=None):
+        """Drain, apply the topology update, resume.  The quiesce means
+        the refresher's in-place table rewrite never races a reader."""
+        t0 = time.perf_counter()
+        try:
+            with self.drained():
+                stats = self.service.update_edges(add=add, remove=remove)
+        except (ValueError, OverflowError):
+            self.metrics.record("update_edges", "bad_request")
+            raise
+        except Exception:
+            self.metrics.record("update_edges", "error")
+            raise
+        self.metrics.record("update_edges", "ok", latency_s=time.perf_counter() - t0)
+        return stats
+
+    def update_features(self, vertex_ids, new_rows):
+        """Drain, apply the feature update, resume."""
+        t0 = time.perf_counter()
+        try:
+            with self.drained():
+                stats = self.service.update_features(vertex_ids, new_rows)
+        except (ValueError, OverflowError):
+            self.metrics.record("update_features", "bad_request")
+            raise
+        except Exception:
+            self.metrics.record("update_features", "error")
+            raise
+        self.metrics.record("update_features", "ok", latency_s=time.perf_counter() - t0)
+        return stats
+
+    # -- introspection / lifecycle ------------------------------------------------
+
+    def healthz(self) -> dict:
+        """Liveness body; the server maps ``draining`` to 503."""
+        return {"status": "draining" if self.draining else "ok"}
+
+    def metrics_snapshot(self) -> dict:
+        """Counters + quantiles + live gauges (one consistent view of
+        the counters; gauges are instantaneous)."""
+        with self._lock:
+            depth, in_flight, draining = self._depth, self._in_flight, self._draining
+        cache = getattr(self.service, "cache", None)
+        return self.metrics.snapshot(
+            queue_depth=depth,
+            in_flight=in_flight,
+            draining=draining,
+            max_queue=self.max_queue,
+            num_workers=self.num_workers,
+            cache_hit_rate=float(cache.hit_rate) if cache is not None else None,
+        )
+
+    def close(self) -> None:
+        """Stop the workers; pending requests fail with RuntimeError."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._workers:
+            self._queue.put(_STOP)
+        for w in self._workers:
+            w.join(timeout=10.0)
+        # anything still queued was admitted before close: fail it fast
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _STOP and item.future.set_running_or_notify_cancel():
+                item.future.set_exception(RuntimeError("ServingFrontend is closed"))
+
+    def __enter__(self) -> "ServingFrontend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

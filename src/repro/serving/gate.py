@@ -1,0 +1,74 @@
+"""Reader-writer gate for the online request path.
+
+The serving tier has exactly one write pattern — a table rewrite
+(``update_features`` / ``update_edges`` / checkpoint swap) — and many
+concurrent readers (``predict`` / ``topk``).  The incremental refresher
+mutates the per-layer embedding tables *in place*, so a reader gathering
+rows mid-refresh would observe a torn mix of pre- and post-update
+values.  :class:`ReadWriteGate` makes updates quiesce instead: readers
+share the gate, a writer waits for in-flight readers to finish and
+excludes new ones while it rewrites.
+
+Writer-preferred: once a writer is waiting, new readers queue behind it,
+so sustained read traffic cannot starve an update.  The gate is not
+reentrant — the request path never nests read sections, and updates
+never read through the gated path.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class ReadWriteGate:
+    """Many concurrent readers, exclusive writers, writer-preferred."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self):
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._active_readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._active_readers -= 1
+                if self._active_readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()
+
+    # -- introspection (metrics / tests) ------------------------------------------
+
+    @property
+    def active_readers(self) -> int:
+        with self._cond:
+            return self._active_readers
+
+    @property
+    def writer_active(self) -> bool:
+        with self._cond:
+            return self._writer_active

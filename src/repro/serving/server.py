@@ -2,32 +2,43 @@
 
 :class:`PredictionService` composes the serving pieces — engine lookups,
 optional LRU result cache, optional micro-batching, optional stale-aware
-refresher routing — behind one ``predict``/``topk`` surface, and
-:class:`PredictionServer` exposes that surface on a
-``ThreadingHTTPServer``:
+refresher routing — behind one ``predict``/``topk``/``update`` surface,
+and :class:`PredictionServer` exposes that surface over HTTP with a
+:class:`~repro.serving.frontend.ServingFrontend` doing admission
+control (bounded queue, per-endpoint deadlines, graceful drain):
 
-- ``POST /predict``       body ``{"vertices": [..], "k": 3?}`` ->
+- ``POST /predict``          body ``{"vertices": [..], "k": 3?}`` ->
   ``{"vertices", "labels", "topk"?}``
-- ``POST /update_edges``  body ``{"add": [[u, v], ..]?, "remove":
+- ``POST /update_edges``     body ``{"add": [[u, v], ..]?, "remove":
   [[u, v], ..]?}`` -> refresh outcome (mode, affected rows, edge count)
-- ``GET /stats``          engine / cache / batcher / refresher counters
-- ``GET /healthz``        liveness
+- ``POST /update_features``  body ``{"vertices": [..], "features":
+  [[..], ..]}`` -> refresh outcome
+- ``GET /stats``             engine / cache / batcher / refresher counters
+- ``GET /metrics``           request-path metrics: per-endpoint outcome
+  counters and p50/p99, queue depth, in-flight count, cache hit rate
+- ``GET /healthz``           liveness; flips to ``draining`` (503)
+  while an update quiesces the pool
 
-Request flow: per-request cache probe first (a full hit never queues),
-then the missing ids go through the micro-batcher, which coalesces
-misses across concurrent requests into one engine gather.  Edge updates
-land on the engine's delta-CSR shadow graph and refresh through the
-attached :class:`IncrementalRefresher` (full precompute without one).
+Request flow: handler threads only parse and enqueue — execution happens
+on the frontend's bounded worker pool, under the service's reader-writer
+gate.  Per-request cache probe first (a full hit never queues past the
+pool), then the missing ids go through the micro-batcher, which
+coalesces misses across concurrent requests into one engine gather.
+Updates **quiesce**: the frontend drains in-flight requests, the table
+rewrite runs alone behind the write side of the gate, and serving
+resumes — a reader can never observe a torn mix of pre- and post-update
+rows.
 
-Malformed bodies — invalid JSON, non-object payloads, non-integer or
-out-of-range vertex ids, bad ``k``, bad edge pairs — answer ``400`` with
-a JSON error body; unexpected failures answer ``500`` with a JSON error
-body instead of a traceback.
+Failure modes are all structured JSON, never a traceback: malformed
+bodies answer ``400``; a full admission queue answers ``429`` with
+``Retry-After``; drain windows and missed deadlines answer ``503`` with
+``Retry-After``; engine failures answer ``500``.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
@@ -38,7 +49,9 @@ from repro.graph.csr import INDEX_DTYPE
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import ResultCache
 from repro.serving.engine import InferenceEngine, topk_rows
-from repro.serving.refresh import IncrementalRefresher
+from repro.serving.frontend import ServingFrontend, ServingUnavailable
+from repro.serving.gate import ReadWriteGate
+from repro.serving.refresh import IncrementalRefresher, RefreshStats
 
 
 def _int_field(value, what: str) -> int:
@@ -76,8 +89,31 @@ def _edge_pairs(value, what: str):
     return pairs
 
 
+def _feature_rows(value, what: str = "features") -> np.ndarray:
+    """2-D float feature rows from a JSON list-of-lists body."""
+    if not isinstance(value, list):
+        raise ValueError(f"{what} must be a list of feature rows")
+    try:
+        rows = np.asarray(value, dtype=np.float32)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{what} must be numeric rows: {exc}")
+    rows = np.atleast_2d(rows)
+    if rows.ndim != 2:
+        raise ValueError(f"{what} must be 2-D (one row per vertex)")
+    if not np.isfinite(rows).all():
+        raise ValueError(f"{what} must be finite (no NaN/inf)")
+    return rows
+
+
 class PredictionService:
-    """Cache- and batch-aware front end over an :class:`InferenceEngine`."""
+    """Cache- and batch-aware front end over an :class:`InferenceEngine`.
+
+    Reads (``predict`` / ``topk``) share a :class:`ReadWriteGate`;
+    updates (``update_edges`` / ``update_features``) take its write side,
+    so the refresher's in-place table rewrites quiesce instead of racing
+    concurrent lookups — every response reflects exactly one table
+    version (pinned by ``tests/serving/test_concurrency.py``).
+    """
 
     def __init__(
         self,
@@ -101,11 +137,22 @@ class PredictionService:
             else None
         )
         self.num_requests = 0
+        self._count_lock = threading.Lock()
         self._cached_version = engine.version
-        # serializes concurrent topology updates (handler threads);
-        # readers are not blocked — they observe either table version,
-        # and the version check below drops cache rows from the old one
-        self._update_lock = threading.Lock()
+        # readers share; topology/feature updates take the write side
+        # and therefore wait out in-flight lookups before rewriting
+        self._gate = ReadWriteGate()
+
+    # -- fault-injection seam ----------------------------------------------------------
+
+    def wrap_lookup(self, wrapper) -> None:
+        """Wrap the engine lookup with ``wrapper(old) -> new`` — the
+        supported seam the fault/stress harness uses to inject failures,
+        latency, or instrumentation into the request path (covers both
+        the direct path and the micro-batcher's compute function)."""
+        self._lookup = wrapper(self._lookup)
+        if self.batcher is not None:
+            self.batcher.compute = wrapper(self.batcher.compute)
 
     # -- request path ----------------------------------------------------------------
 
@@ -117,22 +164,24 @@ class PredictionService:
     def predict_logits(self, vertex_ids) -> np.ndarray:
         """One logit row per requested vertex (request order preserved)."""
         ids = self.engine._check_ids(vertex_ids)
-        self.num_requests += 1
+        with self._count_lock:
+            self.num_requests += 1
         if ids.size == 0:
             return np.zeros((0, self.engine.dataset.num_classes), dtype=np.float32)
-        if self.cache is None:
-            return self._compute(ids)
-        # a table rewrite (precompute or refresher update) invalidates
-        # every cached row — drop them rather than serve stale results
-        if self.engine.version != self._cached_version:
-            self.cache.reset()
-            self._cached_version = self.engine.version
-        found, missing = self.cache.get_many(ids)
-        if missing.size:
-            rows = self._compute(missing)
-            self.cache.put_many(missing, rows)
-            found.update(zip(missing.tolist(), rows))
-        return np.stack([found[v] for v in ids.tolist()])
+        with self._gate.read():
+            if self.cache is None:
+                return self._compute(ids)
+            # a table rewrite (precompute or refresher update) invalidates
+            # every cached row — drop them rather than serve stale results
+            if self.engine.version != self._cached_version:
+                self.cache.reset()
+                self._cached_version = self.engine.version
+            found, missing = self.cache.get_many(ids)
+            if missing.size:
+                rows = self._compute(missing)
+                self.cache.put_many(missing, rows)
+                found.update(zip(missing.tolist(), rows))
+            return np.stack([found[v] for v in ids.tolist()])
 
     def predict(self, vertex_ids) -> np.ndarray:
         """Argmax label per requested vertex."""
@@ -143,7 +192,7 @@ class PredictionService:
         from the (possibly cached) logit rows."""
         return topk_rows(self.predict_logits(vertex_ids), k)
 
-    # -- topology updates ---------------------------------------------------------------
+    # -- updates ---------------------------------------------------------------
 
     def update_edges(self, add=None, remove=None):
         """Apply edge mutations (``(src, dst)`` pair sequences) and
@@ -152,15 +201,48 @@ class PredictionService:
         Routes through the attached refresher's incremental / full /
         deferred policy; without one, the engine's graph is mutated and
         fully precomputed.  Either way ``engine.version`` moves, so the
-        next request drops every cached row.  Returns
+        next request drops every cached row.  Takes the gate's write
+        side: in-flight lookups finish first, new ones wait.  Returns
         :class:`~repro.dyngraph.serving_updates.EdgeUpdateStats`.
         """
-        with self._update_lock:
+        with self._gate.write():
             if self.refresher is not None:
                 return self.refresher.update_edges(add=add, remove=remove)
             from repro.dyngraph.serving_updates import full_topology_update
 
             return full_topology_update(self.engine, add=add, remove=remove)
+
+    def update_features(self, vertex_ids, new_rows) -> RefreshStats:
+        """Apply a feature update (one row per vertex) and refresh.
+
+        With a refresher attached this is its incremental / full /
+        deferred policy; without one, the engine's features are written
+        (last-wins within the batch) and fully precomputed.  Takes the
+        gate's write side, like :meth:`update_edges`.
+        """
+        with self._gate.write():
+            if self.refresher is not None:
+                return self.refresher.update_features(vertex_ids, new_rows)
+            engine = self.engine
+            ids = engine._check_ids(vertex_ids)
+            rows = np.atleast_2d(
+                np.asarray(new_rows, dtype=engine.features.dtype)
+            )
+            if rows.shape != (ids.size, engine.features.shape[1]):
+                raise ValueError(
+                    f"new_rows shape {rows.shape} does not match "
+                    f"({ids.size}, {engine.features.shape[1]})"
+                )
+            changed, last = np.unique(ids[::-1], return_index=True)
+            engine.features[changed] = rows[::-1][last]
+            engine.precompute()
+            return RefreshStats(
+                mode="full",
+                num_updated=int(changed.size),
+                affected_per_layer=(engine.num_vertices,) * engine.num_layers,
+                affected_fraction=1.0,
+                rows_recomputed=engine.num_vertices * engine.num_layers,
+            )
 
     # -- lifecycle / introspection ------------------------------------------------------
 
@@ -185,31 +267,47 @@ class PredictionService:
 
 
 class _PredictionHandler(BaseHTTPRequestHandler):
-    """Routes requests to the server's :class:`PredictionService`."""
+    """Parses requests and routes them through the server's frontend."""
 
-    server_version = "repro-serve/1.0"
+    server_version = "repro-serve/2.0"
 
     @property
     def service(self) -> PredictionService:
         return self.server.service  # type: ignore[attr-defined]
 
+    @property
+    def frontend(self) -> ServingFrontend:
+        return self.server.frontend  # type: ignore[attr-defined]
+
     def log_message(self, fmt, *args):  # quiet by default
         if getattr(self.server, "verbose", False):  # pragma: no cover
             super().log_message(fmt, *args)
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(self, status: int, payload: dict, retry_after_s=None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after_s is not None:
+            # Retry-After is whole seconds on the wire; round up so the
+            # client never retries before the hint
+            self.send_header("Retry-After", str(max(1, math.ceil(retry_after_s))))
         self.end_headers()
         self.wfile.write(body)
 
     def do_GET(self) -> None:
         if self.path == "/healthz":
-            self._reply(200, {"status": "ok"})
+            health = self.frontend.healthz()
+            if health["status"] == "ok":
+                self._reply(200, health)
+            else:
+                self._reply(
+                    503, health, retry_after_s=self.frontend.retry_after_s
+                )
         elif self.path == "/stats":
             self._reply(200, self.service.stats())
+        elif self.path == "/metrics":
+            self._reply(200, self.frontend.metrics_snapshot())
         else:
             self._reply(404, {"error": f"unknown path {self.path}"})
 
@@ -230,6 +328,7 @@ class _PredictionHandler(BaseHTTPRequestHandler):
         routes = {
             "/predict": self._post_predict,
             "/update_edges": self._post_update_edges,
+            "/update_features": self._post_update_features,
         }
         route = routes.get(self.path)
         if route is None:
@@ -237,6 +336,13 @@ class _PredictionHandler(BaseHTTPRequestHandler):
             return
         try:
             route()
+        except ServingUnavailable as exc:
+            # backpressure / drain / deadline: 429 or 503 + Retry-After
+            self._reply(
+                exc.status,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                retry_after_s=exc.retry_after_s,
+            )
         except (ValueError, OverflowError) as exc:
             # malformed body / ids / k / pairs (OverflowError: an id too
             # large for the index dtype is out-of-range, not a 500)
@@ -255,20 +361,26 @@ class _PredictionHandler(BaseHTTPRequestHandler):
         if k is not None:
             k = _int_field(k, "k")
         svc = self.service
-        resp = {
-            "vertices": vertices.tolist(),
-            "labels": svc.predict(vertices).tolist(),
-        }
-        if k is not None:
-            classes, scores = svc.topk(vertices, k=k)
-            resp["topk"] = [
-                [
-                    {"class": int(c), "score": float(s)}
-                    for c, s in zip(crow, srow)
+
+        def run() -> dict:
+            resp = {
+                "vertices": vertices.tolist(),
+                "labels": svc.predict(vertices).tolist(),
+            }
+            if k is not None:
+                classes, scores = svc.topk(vertices, k=k)
+                resp["topk"] = [
+                    [
+                        {"class": int(c), "score": float(s)}
+                        for c, s in zip(crow, srow)
+                    ]
+                    for crow, srow in zip(classes, scores)
                 ]
-                for crow, srow in zip(classes, scores)
-            ]
-        self._reply(200, resp)
+            return resp
+
+        # `k` requests are the heavier class: meter them separately
+        endpoint = "predict" if k is None else "topk"
+        self._reply(200, self.frontend.call(endpoint, run))
 
     def _post_update_edges(self) -> None:
         req = self._read_json()
@@ -277,12 +389,44 @@ class _PredictionHandler(BaseHTTPRequestHandler):
             raise ValueError(f"unknown keys {sorted(unknown)}")
         add = _edge_pairs(req.get("add"), "add")
         remove = _edge_pairs(req.get("remove"), "remove")
-        stats = self.service.update_edges(add=add, remove=remove)
+        stats = self.frontend.update_edges(add=add, remove=remove)
         self._reply(200, {"status": "ok", **stats.to_json()})
+
+    def _post_update_features(self) -> None:
+        req = self._read_json()
+        unknown = set(req) - {"vertices", "features"}
+        if unknown:
+            raise ValueError(f"unknown keys {sorted(unknown)}")
+        if "vertices" not in req or "features" not in req:
+            raise ValueError("missing required keys 'vertices' and 'features'")
+        vertices = _vertex_ids(req["vertices"])
+        rows = _feature_rows(req["features"])
+        if rows.shape[0] != vertices.size:
+            raise ValueError(
+                f"features has {rows.shape[0]} rows for {vertices.size} vertices"
+            )
+        stats = self.frontend.update_features(vertices, rows)
+        self._reply(
+            200,
+            {
+                "status": "ok",
+                "mode": stats.mode,
+                "num_updated": stats.num_updated,
+                "affected_per_layer": list(stats.affected_per_layer),
+                "affected_fraction": stats.affected_fraction,
+                "rows_recomputed": stats.rows_recomputed,
+            },
+        )
 
 
 class PredictionServer:
-    """``ThreadingHTTPServer`` wrapper owning a service."""
+    """``ThreadingHTTPServer`` + :class:`ServingFrontend` owning a service.
+
+    Handler threads do I/O and parsing only; the frontend's bounded
+    worker pool executes.  Pass a pre-built ``frontend`` to control
+    admission limits and deadlines, or let the server build one with
+    defaults.
+    """
 
     def __init__(
         self,
@@ -290,10 +434,17 @@ class PredictionServer:
         host: str = "127.0.0.1",
         port: int = 8080,
         verbose: bool = False,
+        frontend: Optional[ServingFrontend] = None,
     ):
         self.service = service
+        self.frontend = (
+            frontend if frontend is not None else ServingFrontend(service)
+        )
+        if self.frontend.service is not service:
+            raise ValueError("frontend must wrap the same service")
         self.httpd = ThreadingHTTPServer((host, port), _PredictionHandler)
         self.httpd.service = service  # type: ignore[attr-defined]
+        self.httpd.frontend = self.frontend  # type: ignore[attr-defined]
         self.httpd.verbose = verbose  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 
@@ -318,4 +469,5 @@ class PredictionServer:
         self.httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=10.0)
+        self.frontend.close()
         self.service.close()

@@ -166,9 +166,45 @@ def test_parser_requires_command():
 
 def test_serve_parser_accepts_options():
     args = build_parser().parse_args(
-        ["serve", "--checkpoint", "c.npz", "--port", "0", "--cache-size", "128"]
+        ["serve", "--checkpoint", "c.npz", "--port", "0", "--cache-size", "128",
+         "--workers", "2", "--max-queue", "32", "--request-timeout", "5"]
     )
     assert args.command == "serve" and args.cache_size == 128
+    assert args.workers == 2 and args.max_queue == 32
+    assert args.request_timeout == 5.0
+
+
+def test_loadgen_cli(capsys, tmp_path):
+    ckpt = str(tmp_path / "lg.npz")
+    base = ["--dataset", "reddit", "--scale", "0.05"]
+    assert main(["train", *base, "--epochs", "2", "--checkpoint", ckpt]) == 0
+    capsys.readouterr()
+    rc = main(
+        ["loadgen", *base, "--checkpoint", ckpt, "--rate", "50",
+         "--duration", "0.5", "--arrival", "bursty", "--clients", "4",
+         "--mix", "predict=0.8,topk=0.2"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "offered" in out and "achieved" in out and "p99" in out
+    assert "predict" in out and "topk" in out
+
+
+def test_loadgen_cli_rejects_bad_mix(capsys, tmp_path):
+    ckpt = str(tmp_path / "lgbad.npz")
+    base = ["--dataset", "reddit", "--scale", "0.05"]
+    rc = main(["loadgen", *base, "--checkpoint", ckpt, "--mix", "nonsense"])
+    assert rc == 2
+    assert "bad --mix" in capsys.readouterr().err
+
+
+def test_loadgen_parser_requires_a_target():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["loadgen", "--rate", "10"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["loadgen", "--url", "http://x", "--checkpoint", "c.npz"]
+        )
 
 
 def test_ingest(capsys, tmp_path):

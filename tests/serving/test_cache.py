@@ -108,3 +108,20 @@ def test_reset_and_stats():
     assert s["hits"] == 1 and s["misses"] == 1 and s["size"] == 1
     c.reset()
     assert c.accesses == 0 and len(c) == 0 and c.hit_rate == 0.0
+
+
+def test_lookup_counter_conservation():
+    """``hits + misses == lookups`` after every access pattern —
+    singleton gets, vectorized gets (with duplicates), and reset."""
+    c = ResultCache(4)
+    assert c.stats()["lookups"] == 0
+    c.get(1)                                     # miss
+    c.put(1, _row(1))
+    c.get(1)                                     # hit
+    c.get_many(np.array([1, 1, 2, 3]))           # 2 hits + 2 misses
+    s = c.stats()
+    assert s["lookups"] == 6
+    assert s["hits"] + s["misses"] == s["lookups"]
+    assert s["hits"] == 3 and s["misses"] == 3
+    c.reset()
+    assert c.stats()["lookups"] == 0

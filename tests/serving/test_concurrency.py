@@ -1,0 +1,247 @@
+"""Concurrency stress: readers hammering a service under live updates.
+
+The contract pinned here is the serving tier's memory model:
+
+- **no torn reads** — every served response equals the corresponding
+  rows of exactly one full-precompute table version (pre- or post-
+  update), never a mix (the refresher rewrites tables in place, so
+  without the reader-writer gate this genuinely fails);
+- **no deadlocks** — reader herds + updater threads always join
+  (enforced by the harness's deadline joins);
+- **counter conservation** — the result cache's ``hits + misses ==
+  lookups`` invariant holds at every observable instant under
+  contention, not just at rest.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import ResultCache
+from repro.serving.frontend import ServingUnavailable
+
+from harness import (
+    JOIN_TIMEOUT_S,
+    SnapshotChecker,
+    hammer,
+    join_all,
+    make_frontend,
+    make_service,
+)
+
+NUM_READERS = 4
+READS_PER_THREAD = 25
+
+
+@pytest.fixture
+def serving(engine):
+    svc = make_service(engine)
+    fe = make_frontend(svc)
+    yield svc, fe
+    fe.close()
+    svc.close()
+
+
+def _collecting_reader(svc, fe, responses, responses_lock):
+    """Reader body: predict a seeded batch, collect (ids, rows) for
+    post-hoc snapshot validation.  Shed requests (the updater is
+    draining) back off and retry like a well-behaved client — without
+    the backoff every read would burn out inside the first drain window
+    and the stress would observe nothing."""
+
+    def read(idx: int) -> None:
+        rng = np.random.default_rng(1000 + idx + len(responses))
+        ids = rng.integers(0, svc.engine.num_vertices, size=6)
+        deadline = time.monotonic() + JOIN_TIMEOUT_S
+        while True:
+            try:
+                rows = fe.call("predict", lambda: svc.predict_logits(ids))
+                break
+            except ServingUnavailable as exc:
+                assert time.monotonic() < deadline, "reader starved out"
+                time.sleep(max(exc.retry_after_s, 0.002))
+        with responses_lock:
+            responses.append((ids, np.array(rows, copy=True)))
+
+    return read
+
+
+def _run_stress(svc, fe, engine, apply_update, num_updates):
+    """Readers hammer while a writer applies ``num_updates`` updates;
+    returns (responses, checker) for post-hoc torn-read validation."""
+    checker = SnapshotChecker()
+    checker.register(engine.logits)  # version 0
+    responses, responses_lock = [], threading.Lock()
+    writer_err = []
+
+    def writer() -> None:
+        try:
+            for k in range(num_updates):
+                apply_update(k)
+                # the update has fully landed (drain + write-gate), so
+                # this copy is a clean new table version
+                checker.register(engine.logits)
+        except BaseException as exc:  # noqa: BLE001 — surfaced below
+            writer_err.append(exc)
+
+    w = threading.Thread(target=writer, name="stress-writer", daemon=True)
+    w.start()
+    hammer(
+        _collecting_reader(svc, fe, responses, responses_lock),
+        num_threads=NUM_READERS,
+        iterations=READS_PER_THREAD,
+    )
+    join_all([w])
+    if writer_err:
+        raise writer_err[0]
+    assert checker.num_snapshots == num_updates + 1
+    return responses, checker
+
+
+def test_no_torn_reads_under_feature_updates(trained, serving):
+    ds, _, _ = trained
+    svc, fe = serving
+    engine = svc.engine
+    rng = np.random.default_rng(42)
+    updates = [
+        (
+            rng.choice(engine.num_vertices, size=3, replace=False),
+            rng.standard_normal((3, ds.feature_dim)).astype(np.float32),
+        )
+        for _ in range(4)
+    ]
+
+    responses, checker = _run_stress(
+        svc, fe, engine,
+        lambda k: fe.update_features(*updates[k]),
+        num_updates=len(updates),
+    )
+    assert responses, "stress run served nothing"
+    for ids, rows in responses:
+        checker.assert_consistent(ids, rows)
+
+
+def test_no_torn_reads_under_edge_updates(serving):
+    svc, fe = serving
+    engine = svc.engine
+    rng = np.random.default_rng(43)
+    batches = [
+        rng.integers(0, engine.num_vertices, size=(4, 2)) for _ in range(4)
+    ]
+
+    responses, checker = _run_stress(
+        svc, fe, engine,
+        lambda k: fe.update_edges(add=batches[k]),
+        num_updates=len(batches),
+    )
+    assert responses, "stress run served nothing"
+    for ids, rows in responses:
+        checker.assert_consistent(ids, rows)
+
+
+def test_cache_conservation_under_stress(serving):
+    """hits + misses == lookups at EVERY sampled instant while readers
+    and an updater race the cache (all three counters move inside one
+    critical section — a sampler catching them mid-update is the bug)."""
+    svc, fe = serving
+    engine = svc.engine
+    stop = threading.Event()
+    violations = []
+
+    def sampler() -> None:
+        while not stop.is_set():
+            stats = svc.cache.stats()
+            if stats["hits"] + stats["misses"] != stats["lookups"]:
+                violations.append(stats)
+                return
+
+    s = threading.Thread(target=sampler, name="cache-sampler", daemon=True)
+    s.start()
+    try:
+        rng = np.random.default_rng(7)
+        upd = rng.integers(0, engine.num_vertices, size=(2, 2))
+        responses, _ = _run_stress(
+            svc, fe, engine, lambda k: fe.update_edges(add=upd), num_updates=1
+        )
+    finally:
+        stop.set()
+        join_all([s])
+    assert not violations, f"conservation violated: {violations[0]}"
+    stats = svc.cache.stats()
+    assert stats["lookups"] == stats["hits"] + stats["misses"]
+    assert stats["lookups"] > 0
+
+
+def test_raw_cache_conservation_under_contention():
+    """The invariant on the bare ResultCache, no serving stack around
+    it: hammering get/get_many/put/reset from many threads never lets a
+    sampler observe hits + misses != lookups."""
+    cache = ResultCache(32)
+    stop = threading.Event()
+    violations = []
+
+    def sampler() -> None:
+        # only stats() gives one consistent snapshot; comparing the raw
+        # attributes here would race between the two reads
+        while not stop.is_set():
+            stats = cache.stats()
+            if stats["hits"] + stats["misses"] != stats["lookups"]:
+                violations.append(stats)
+                return
+
+    s = threading.Thread(target=sampler, name="raw-sampler", daemon=True)
+    s.start()
+
+    def body(idx: int) -> None:
+        rng = np.random.default_rng(idx)
+        keys = rng.integers(0, 64, size=8)
+        cache.get(int(keys[0]))
+        cache.put(int(keys[0]), np.ones(4, dtype=np.float32))
+        found, missing = cache.get_many(keys)
+        if missing.size:
+            cache.put_many(missing, np.ones((missing.size, 4), dtype=np.float32))
+        if idx == 0 and rng.random() < 0.05:
+            cache.reset()
+
+    try:
+        hammer(body, num_threads=8, iterations=50)
+    finally:
+        stop.set()
+        join_all([s])
+    assert not violations, f"conservation violated: {violations[0]}"
+    # quiescent now: the raw attributes must agree too
+    assert cache.accesses == cache.lookups
+
+
+def test_concurrent_updates_serialize(serving):
+    """Multiple updater threads racing each other: every update lands
+    (drains serialize on the frontend), none deadlocks, and the final
+    table equals a fresh full precompute of the final state."""
+    svc, fe = serving
+    engine = svc.engine
+    rng = np.random.default_rng(9)
+    edges = [rng.integers(0, engine.num_vertices, size=(2, 2)) for _ in range(6)]
+    errors = []
+
+    def updater(idx: int) -> None:
+        try:
+            fe.update_edges(add=edges[idx])
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=updater, args=(i,), name=f"upd-{i}", daemon=True)
+        for i in range(len(edges))
+    ]
+    for t in threads:
+        t.start()
+    join_all(threads, timeout_s=JOIN_TIMEOUT_S)
+    assert not errors, errors
+    assert fe.metrics_snapshot()["endpoints"]["update_edges"]["ok"] == len(edges)
+    # the incremental path's contract: identical to a from-scratch
+    # precompute of the final topology
+    before = np.array(engine.logits, copy=True)
+    engine.precompute()
+    assert np.array_equal(before, engine.logits)

@@ -1,0 +1,159 @@
+"""Graceful drain: updates quiesce in-flight work, then serving resumes.
+
+Pinned here: an update arriving while micro-batched requests are in
+flight (1) lets the in-flight work complete, (2) sheds new requests
+with 503 while quiescing, (3) flips ``/healthz`` for the window, and
+(4) afterwards serves tables bit-identical to a fresh full precompute.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serving import PredictionServer, ServiceDraining, full_graph_forward
+
+from harness import (
+    JOIN_TIMEOUT_S,
+    blocking_lookup,
+    join_all,
+    make_frontend,
+    make_service,
+)
+
+
+def _wait_until(predicate, what: str, timeout_s: float = JOIN_TIMEOUT_S):
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        assert time.monotonic() < deadline, f"timed out waiting for {what}"
+        time.sleep(0.002)
+
+
+@pytest.fixture
+def serving(engine):
+    svc = make_service(engine)
+    fe = make_frontend(svc)
+    yield svc, fe
+    fe.close()
+    svc.close()
+
+
+def test_drain_waits_for_in_flight_micro_batches(serving):
+    svc, fe = serving
+    engine = svc.engine
+    release = threading.Event()
+    started = threading.Event()
+    svc.wrap_lookup(blocking_lookup(release, started))
+
+    in_flight_result = []
+    reader = threading.Thread(
+        target=lambda: in_flight_result.append(
+            fe.call("predict", lambda: svc.predict_logits(np.array([0, 1])))
+        ),
+        name="in-flight-reader",
+        daemon=True,
+    )
+    reader.start()
+    assert started.wait(JOIN_TIMEOUT_S)  # parked inside the engine call
+
+    update_done = []
+    updater = threading.Thread(
+        target=lambda: update_done.append(fe.update_edges(add=[(0, 1)])),
+        name="updater",
+        daemon=True,
+    )
+    updater.start()
+    _wait_until(lambda: fe.draining, "drain to start")
+
+    # while quiescing: new requests shed, the update has NOT run yet
+    # (the in-flight batch still holds the pool)
+    with pytest.raises(ServiceDraining):
+        fe.call("predict", lambda: svc.predict_logits(np.array([2])))
+    assert fe.healthz() == {"status": "draining"}
+    assert not update_done
+
+    release.set()  # in-flight batch completes -> drain proceeds
+    join_all([reader, updater])
+    assert in_flight_result and in_flight_result[0].shape[0] == 2
+    assert update_done and update_done[0].num_added == 1
+    assert not fe.draining
+    assert fe.healthz() == {"status": "ok"}
+    # the shed request succeeds on retry
+    rows = fe.call("predict", lambda: svc.predict_logits(np.array([2])))
+    assert rows.shape[0] == 1
+
+
+def test_post_drain_serving_is_bit_identical_to_fresh_precompute(serving):
+    svc, fe = serving
+    engine = svc.engine
+    rng = np.random.default_rng(3)
+    fe.update_edges(add=rng.integers(0, engine.num_vertices, size=(5, 2)))
+    fe.update_features(
+        np.array([1, 4]),
+        rng.standard_normal((2, engine.features.shape[1])).astype(np.float32),
+    )
+    # ground truth: a from-scratch forward over the post-update state
+    fresh = full_graph_forward(engine.model, engine.graph, engine.features,
+                               engine.norm)
+    ids = np.arange(engine.num_vertices)
+    served = fe.call("predict", lambda: svc.predict_logits(ids))
+    assert np.array_equal(served, fresh)
+    assert np.array_equal(engine.logits, fresh)
+
+
+def test_healthz_flips_over_http(engine):
+    svc = make_service(engine)
+    fe = make_frontend(svc)
+    server = PredictionServer(svc, port=0, frontend=fe).start_background()
+    host, port = server.address
+    base = f"http://{host}:{port}"
+    try:
+        with urllib.request.urlopen(f"{base}/healthz", timeout=10) as resp:
+            assert resp.status == 200
+            assert json.load(resp) == {"status": "ok"}
+
+        release = threading.Event()
+        started = threading.Event()
+        svc.wrap_lookup(blocking_lookup(release, started))
+        reader = threading.Thread(
+            target=lambda: fe.call(
+                "predict", lambda: svc.predict_logits(np.array([0]))
+            ),
+            daemon=True,
+        )
+        reader.start()
+        assert started.wait(JOIN_TIMEOUT_S)
+        updater = threading.Thread(
+            target=lambda: fe.update_edges(add=[(0, 1)]), daemon=True
+        )
+        updater.start()
+        _wait_until(lambda: fe.draining, "drain to start")
+
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(f"{base}/healthz", timeout=10)
+        assert err.value.code == 503
+        assert json.load(err.value) == {"status": "draining"}
+        assert int(err.value.headers["Retry-After"]) >= 1
+
+        release.set()
+        join_all([reader, updater])
+        with urllib.request.urlopen(f"{base}/healthz", timeout=10) as resp:
+            assert json.load(resp) == {"status": "ok"}
+    finally:
+        release.set()
+        server.shutdown()
+
+
+def test_drain_counts_are_metered(serving):
+    svc, fe = serving
+    engine = svc.engine
+    for k in range(3):
+        fe.update_edges(add=[(k, k + 1)])
+    snap = fe.metrics_snapshot()
+    assert snap["num_drains"] == 3
+    assert snap["endpoints"]["update_edges"]["ok"] == 3
+    assert snap["draining"] is False

@@ -192,3 +192,43 @@ def test_http_valid_requests_still_pass_strict_validation(live_server):
     assert status == 200 and resp["labels"] == []
     status, resp = _post(f"{base}/predict", {"vertices": [0], "k": 1})
     assert status == 200 and len(resp["topk"][0]) == 1
+
+
+def test_http_metrics_endpoint(live_server):
+    _, base = live_server
+    _post(f"{base}/predict", {"vertices": [1, 2]})
+    _post(f"{base}/predict", {"vertices": [3], "k": 2})  # metered as topk
+    status, snap = _get(f"{base}/metrics")
+    assert status == 200
+    assert snap["endpoints"]["predict"]["ok"] >= 1
+    assert snap["endpoints"]["topk"]["ok"] >= 1
+    assert snap["endpoints"]["predict"]["p50_ms"] > 0
+    totals = snap["totals"]
+    assert totals["requests"] == sum(
+        v for k, v in totals.items() if k != "requests"
+    )
+    # live gauges ride along
+    assert snap["draining"] is False
+    assert snap["queue_depth"] >= 0 and snap["in_flight"] >= 0
+    assert 0.0 <= snap["cache_hit_rate"] <= 1.0
+
+
+def test_http_update_features(live_server):
+    engine, base = live_server
+    before = _post(f"{base}/predict", {"vertices": [0]})[1]["labels"]
+    rng = np.random.default_rng(21)
+    rows = rng.standard_normal(
+        (1, engine.features.shape[1])
+    ).astype(np.float32)
+    status, resp = _post(
+        f"{base}/update_features",
+        {"vertices": [0], "features": rows.tolist()},
+    )
+    assert status == 200
+    assert resp["status"] == "ok" and resp["mode"] in ("incremental", "full")
+    assert resp["num_updated"] == 1
+    # the served row now reflects the new features (table was refreshed)
+    after = _post(f"{base}/predict", {"vertices": [0]})[1]["labels"]
+    assert after == np.argmax(engine.logits[[0]], axis=1).tolist()
+    assert np.array_equal(engine.features[0], rows[0])
+    assert before is not None  # label may or may not move; the row must

@@ -83,7 +83,32 @@ def test_serving_public_surface():
     assert callable(InferenceEngine.from_checkpoint)
     assert hasattr(PredictionService, "predict")
     assert hasattr(PredictionService, "update_edges")
+    assert hasattr(PredictionService, "update_features")
     assert hasattr(EdgeUpdateStats, "to_json")
+
+
+def test_serving_frontend_public_surface():
+    """Satellite of PR 6: the traffic-hardening layer's documented names."""
+    from repro.serving import (
+        RequestRejected,
+        RequestTimeout,
+        ServiceDraining,
+        ServingFrontend,
+        ServingMetrics,
+        ServingUnavailable,
+        build_schedule,
+        bursty_arrivals,
+        poisson_arrivals,
+        run_open_loop,
+    )
+
+    for exc in (RequestRejected, RequestTimeout, ServiceDraining):
+        assert issubclass(exc, ServingUnavailable)
+        assert exc.status in (429, 503)
+    assert hasattr(ServingFrontend, "call") and hasattr(ServingFrontend, "drained")
+    assert hasattr(ServingMetrics, "snapshot")
+    for fn in (poisson_arrivals, bursty_arrivals, build_schedule, run_open_loop):
+        assert callable(fn)
 
 
 def test_dyngraph_public_surface():
