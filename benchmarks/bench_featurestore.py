@@ -1,0 +1,383 @@
+"""Feature-store hit rates + out-of-core cost -> ``BENCH_featurestore.json``.
+
+The repo's fourth perf-trajectory file (next to kernels / serving /
+streaming): validates the cachesim-driven hot-set cache of
+:mod:`repro.featurestore` against live traffic and prices the mmap cold
+tier against the fully-resident default.
+
+Two series (schema v1):
+
+- ``hit_rate`` — measured hot-set hit rate vs the cache simulator's
+  prediction across (access pattern x hot fraction x policy) cells.
+  Patterns are the three real consumers: ``minibatch`` (neighbor-sampled
+  input frontiers), ``refresh`` (k-hop affected sets of random feature
+  updates, the incremental-refresh read pattern), and ``precompute``
+  (the full sequential scan).  Predictions are made on a *held-out*
+  trace drawn from the same access process with an independent seed —
+  static from the pinned set's frequency mass, LRU from the exact
+  :class:`~repro.cachesim.lru.LRUFeatureCache` replay — so
+  ``within_tolerance`` bounds sampling noise, not leakage.
+- ``end_to_end`` — full-batch epoch time and serving predict latency,
+  resident vs mmap+hotset, at ``--e2e-scale`` (~4x the serving bench's
+  default graph), with slowdown ratios and bit-identical parity flags.
+
+Usage::
+
+    python benchmarks/bench_featurestore.py           # full baseline
+    python benchmarks/bench_featurestore.py --smoke   # CI schema check
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from bench_utils import emit, emit_json, table  # noqa: E402
+
+from repro.core import TrainConfig, Trainer, save_checkpoint  # noqa: E402
+from repro.core.checkpoint import training_meta  # noqa: E402
+from repro.featurestore import (  # noqa: E402
+    FeatureStore,
+    predict_lru_hit_rate,
+    top_rows_by_weight,
+    write_feature_layout,
+)
+from repro.featurestore.hotset import PREDICTION_TOLERANCE  # noqa: E402
+from repro.graph.datasets import load_dataset  # noqa: E402
+from repro.sampling import NeighborSampler  # noqa: E402
+from repro.serving import InferenceEngine  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+#: gather granularity when replaying a trace through the store — matches
+#: the batch sizes the real consumers use; hit counting is
+#: order-preserving, so the rate is chunk-size independent.
+CHUNK = 512
+
+
+# -- access-pattern traces ---------------------------------------------------------
+
+
+def _minibatch_trace(ds, rng, target: int) -> np.ndarray:
+    """Input frontiers of neighbor-sampled batches (the sampler path)."""
+    sampler = NeighborSampler(ds.graph, [10, 10], seed=int(rng.integers(2**31)))
+    train = np.flatnonzero(ds.train_mask)
+    parts = []
+    total = 0
+    while total < target:
+        order = rng.permutation(train)
+        for lo in range(0, order.size, 256):
+            seeds = order[lo : lo + 256]
+            if seeds.size == 0:
+                continue
+            batch = sampler.sample(seeds)
+            parts.append(batch.input_vertices)
+            total += batch.input_vertices.size
+            if total >= target:
+                break
+    return np.concatenate(parts)
+
+
+def _refresh_trace(ds, rng, target: int, changed_per_round: int = 32) -> np.ndarray:
+    """K-hop affected-set reads: each round feature-updates a random
+    vertex set; the incremental refresh then re-reads the features of
+    the 2-hop in-neighborhoods it must recompute."""
+    g = ds.graph
+    indptr, indices = g.indptr, g.indices
+    parts = []
+    total = 0
+    while total < target:
+        frontier = rng.integers(0, ds.num_vertices, size=changed_per_round)
+        touched = [frontier]
+        for _hop in range(2):
+            nbrs = np.concatenate(
+                [indices[indptr[v] : indptr[v + 1]] for v in frontier]
+                or [np.zeros(0, dtype=indices.dtype)]
+            )
+            if nbrs.size == 0:
+                break
+            frontier = np.unique(nbrs)
+            touched.append(frontier)
+        reads = np.concatenate(touched)
+        parts.append(reads)
+        total += reads.size
+    return np.concatenate(parts)
+
+
+def _precompute_trace(ds, rng, target: int) -> np.ndarray:
+    """The full-matrix sequential scan (deterministic: rng unused)."""
+    del rng, target
+    return np.arange(ds.num_vertices, dtype=np.int64)
+
+
+PATTERNS = {
+    "minibatch": _minibatch_trace,
+    "refresh": _refresh_trace,
+    "precompute": _precompute_trace,
+}
+
+
+# -- hit-rate cells ----------------------------------------------------------------
+
+
+def _measure_hit_rate(layout_dir, degrees, policy, hot_fraction, trace) -> dict:
+    """Replay ``trace`` through a fresh store; counters start after the
+    warm-up pin so only steady-state traffic is measured."""
+    store = FeatureStore.open(
+        layout_dir, hot_fraction=hot_fraction, policy=policy, degrees=degrees
+    )
+    assert store.hot is not None
+    store.hot.reset_counters()
+    store.cold_rows_read = 0
+    for lo in range(0, trace.size, CHUNK):
+        store.gather(trace[lo : lo + CHUNK])
+    return {
+        "capacity": store.hot.capacity,
+        "measured_hit_rate": store.hot.hit_rate,
+        "accesses": store.hot.lookups,
+        "cold_rows_read": store.cold_rows_read,
+        "evictions": store.hot.evictions,
+        "decision": store.decision.to_json(),
+    }
+
+
+def _predict_hit_rate(policy, degrees, capacity, pred_trace) -> float:
+    """Cachesim prediction on the held-out trace: the frequency mass of
+    the degree-pinned set (static) or the exact LRU replay."""
+    if policy == "static":
+        pinned = top_rows_by_weight(degrees, capacity)
+        if pred_trace.size == 0:
+            return 0.0
+        return float(np.isin(pred_trace, pinned).mean())
+    return predict_lru_hit_rate(pred_trace, capacity)
+
+
+def run_hit_rate_series(ds, layout_dir, args) -> list:
+    degrees = ds.graph.in_degrees().astype(np.float64)
+    rows = []
+    for pattern, make_trace in PATTERNS.items():
+        live = make_trace(ds, np.random.default_rng(args.seed + 1), args.accesses)
+        held_out = make_trace(
+            ds, np.random.default_rng(args.seed + 20_001), args.accesses
+        )
+        for frac in args.hot_fractions:
+            capacity = int(round(frac * ds.num_vertices))
+            if capacity < 1:
+                continue
+            for policy in ("static", "lru"):
+                measured = _measure_hit_rate(
+                    layout_dir, degrees, policy, frac, live
+                )
+                predicted = _predict_hit_rate(
+                    policy, degrees, measured["capacity"], held_out
+                )
+                err = abs(measured["measured_hit_rate"] - predicted)
+                rows.append({
+                    "pattern": pattern,
+                    "hot_fraction": frac,
+                    "policy": policy,
+                    "predicted_hit_rate": predicted,
+                    "abs_err": err,
+                    "within_tolerance": bool(err <= PREDICTION_TOLERANCE),
+                    **measured,
+                })
+                print(
+                    f"  {pattern:<10s} hot {frac:4.2f} {policy:<6s}: "
+                    f"measured {measured['measured_hit_rate']:.3f} "
+                    f"predicted {predicted:.3f} "
+                    f"(|err| {err:.3f}, "
+                    f"{'ok' if err <= PREDICTION_TOLERANCE else 'MISS'})"
+                )
+    return rows
+
+
+# -- end-to-end: resident vs mmap --------------------------------------------------
+
+
+def _epoch_time(ds, store, epochs: int, seed: int):
+    cfg = TrainConfig(
+        num_layers=2, hidden_features=16, eval_every=0, seed=seed
+    )
+    trainer = Trainer(ds, cfg, feature_store=store)
+    result = trainer.fit(num_epochs=epochs)
+    losses = [e.loss for e in result.epochs]
+    # steady-state epoch: drop the first (cold page cache / allocator)
+    times = [e.total_time_s for e in result.epochs]
+    steady = times[1:] or times
+    return float(np.mean(steady)), losses, trainer
+
+
+def _serving_latency(engine, stream, batch: int = 8) -> dict:
+    t0 = time.perf_counter()
+    precompute_s = None
+    engine.precompute()
+    precompute_s = time.perf_counter() - t0
+    latencies = []
+    outputs = []
+    for lo in range(0, stream.size, batch):
+        ids = stream[lo : lo + batch]
+        t1 = time.perf_counter()
+        outputs.append(engine.predict(ids))
+        latencies.append(time.perf_counter() - t1)
+    lat = np.asarray(latencies) * 1e3
+    return {
+        "precompute_s": precompute_s,
+        "p50_ms": float(np.percentile(lat, 50)),
+        "p99_ms": float(np.percentile(lat, 99)),
+        "_logits": np.concatenate(outputs),
+    }
+
+
+def run_end_to_end(args, tmp) -> dict:
+    ds = load_dataset(args.dataset, scale=args.e2e_scale, seed=args.seed)
+    layout = os.path.join(tmp, "e2e-features")
+    write_feature_layout(layout, ds.features)
+    degrees = ds.graph.in_degrees()
+
+    def mmap_store():
+        return FeatureStore.open(
+            layout, hot_fraction=args.hot_fractions[0],
+            policy="static", degrees=degrees,
+        )
+
+    res_epoch_s, res_losses, trainer = _epoch_time(
+        ds, None, args.train_epochs, args.seed
+    )
+    mmap_epoch_s, mmap_losses, _ = _epoch_time(
+        ds, mmap_store(), args.train_epochs, args.seed
+    )
+
+    ckpt = os.path.join(tmp, "e2e.npz")
+    cfg = TrainConfig(num_layers=2, hidden_features=16, eval_every=0, seed=args.seed)
+    save_checkpoint(
+        ckpt, trainer.model, trainer.optimizer,
+        epoch=args.train_epochs, extra=training_meta(cfg),
+    )
+    rng = np.random.default_rng(args.seed + 5)
+    stream = rng.integers(0, ds.num_vertices, size=args.serve_requests * 8)
+
+    res_engine = InferenceEngine.from_checkpoint(ckpt, ds)
+    res = _serving_latency(res_engine, stream)
+    mmap_engine = InferenceEngine.from_checkpoint(
+        ckpt, ds, feature_store=mmap_store()
+    )
+    mm = _serving_latency(mmap_engine, stream)
+
+    predictions_equal = bool(np.array_equal(res.pop("_logits"), mm.pop("_logits")))
+    out = {
+        "num_vertices": ds.num_vertices,
+        "num_edges": ds.num_edges,
+        "feature_mb": float(np.asarray(ds.features).nbytes / 1e6),
+        "train_epochs": args.train_epochs,
+        "resident_epoch_s": res_epoch_s,
+        "mmap_epoch_s": mmap_epoch_s,
+        "epoch_slowdown": mmap_epoch_s / max(res_epoch_s, 1e-9),
+        "losses_equal": bool(res_losses == mmap_losses),
+        "serving": {
+            "resident": res,
+            "mmap": mm,
+            "precompute_slowdown": mm["precompute_s"] / max(res["precompute_s"], 1e-9),
+            "p99_slowdown": mm["p99_ms"] / max(res["p99_ms"], 1e-9),
+            "predictions_equal": predictions_equal,
+        },
+    }
+    print(
+        f"  epoch: resident {res_epoch_s:.3f}s  mmap {mmap_epoch_s:.3f}s "
+        f"({out['epoch_slowdown']:.2f}x)  losses equal: {out['losses_equal']}"
+    )
+    print(
+        f"  serve: p99 resident {res['p99_ms']:.2f} ms  "
+        f"mmap {mm['p99_ms']:.2f} ms "
+        f"({out['serving']['p99_slowdown']:.2f}x)  "
+        f"predictions equal: {predictions_equal}"
+    )
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--dataset", default="ogbn-products")
+    ap.add_argument("--scale", type=float, default=0.1,
+                    help="graph scale for the hit-rate series")
+    ap.add_argument("--e2e-scale", type=float, default=0.4,
+                    help="graph scale for the end-to-end series (~4x the "
+                    "serving bench default)")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--accesses", type=int, default=60_000,
+                    help="row accesses per hit-rate trace")
+    ap.add_argument("--hot-fractions", type=float, nargs="+",
+                    default=[0.05, 0.1, 0.2])
+    ap.add_argument("--train-epochs", type=int, default=4)
+    ap.add_argument("--serve-requests", type=int, default=400,
+                    help="batch-8 predict requests per serving tier")
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny run for CI schema validation")
+    args = ap.parse_args(argv)
+    if args.smoke:
+        args.scale = min(args.scale, 0.05)
+        args.e2e_scale = min(args.e2e_scale, 0.05)
+        args.accesses = 5_000
+        args.hot_fractions = [0.1]
+        args.train_epochs = 2
+        args.serve_requests = 50
+
+    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        layout_dir = os.path.join(tmp, "features")
+        write_feature_layout(layout_dir, ds.features)
+        print(f"hit-rate series over {ds.name} ({ds.num_vertices} vertices):")
+        hit_rows = run_hit_rate_series(ds, layout_dir, args)
+        print(f"end-to-end at scale {args.e2e_scale:g}:")
+        e2e = run_end_to_end(args, tmp)
+
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "dataset": ds.name,
+        "scale": args.scale,
+        "e2e_scale": args.e2e_scale,
+        "num_vertices": ds.num_vertices,
+        "num_edges": ds.num_edges,
+        "accesses": args.accesses,
+        "hot_fractions": args.hot_fractions,
+        "tolerance": PREDICTION_TOLERANCE,
+        "smoke": bool(args.smoke),
+        "hit_rate": hit_rows,
+        "end_to_end": e2e,
+    }
+    path = emit_json("featurestore", payload)
+    emit(
+        "featurestore_table",
+        table(
+            ["pattern", "hot", "policy", "measured", "predicted",
+             "|err|", "ok", "evictions"],
+            [
+                [
+                    r["pattern"], f"{r['hot_fraction']:.2f}", r["policy"],
+                    f"{r['measured_hit_rate']:.3f}",
+                    f"{r['predicted_hit_rate']:.3f}",
+                    f"{r['abs_err']:.3f}",
+                    "yes" if r["within_tolerance"] else "NO",
+                    r["evictions"],
+                ]
+                for r in hit_rows
+            ],
+        ),
+    )
+    bad = [r for r in hit_rows if not r["within_tolerance"]]
+    print(f"\n{len(hit_rows)} hit-rate cells, "
+          f"{len(hit_rows) - len(bad)} within tolerance "
+          f"{PREDICTION_TOLERANCE:g}")
+    print(f"wrote {path}")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

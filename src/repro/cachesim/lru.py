@@ -22,19 +22,29 @@ from repro.kernels.blocked import BlockedGraph
 
 
 class LRUFeatureCache:
-    """Fully-associative LRU over integer keys (feature-vector ids)."""
+    """Fully-associative LRU over integer keys (feature-vector ids).
+
+    Counter conservation (the :class:`~repro.serving.cache.ResultCache`
+    audit contract, pinned by ``tests/cachesim/test_lru_properties.py``):
+    ``lookups == hits + misses`` and ``occupancy == misses - evictions``
+    hold at every instant, under any interleaving of :meth:`access` and
+    :meth:`access_many`.
+    """
 
     def __init__(self, capacity: int):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = int(capacity)
         self._slots: "OrderedDict[int, None]" = OrderedDict()
+        self.lookups = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def access(self, key: int) -> bool:
         """Touch ``key``; returns True on hit."""
         slots = self._slots
+        self.lookups += 1
         if key in slots:
             slots.move_to_end(key)
             self.hits += 1
@@ -42,6 +52,7 @@ class LRUFeatureCache:
         self.misses += 1
         if len(slots) >= self.capacity:
             slots.popitem(last=False)
+            self.evictions += 1
         slots[key] = None
         return False
 
@@ -56,10 +67,17 @@ class LRUFeatureCache:
     def accesses(self) -> int:
         return self.hits + self.misses
 
+    @property
+    def occupancy(self) -> int:
+        """Keys currently resident (``== misses - evictions``)."""
+        return len(self._slots)
+
     def reset(self) -> None:
         self._slots.clear()
+        self.lookups = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
 
 @dataclass(frozen=True)

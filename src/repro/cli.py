@@ -74,6 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume single-socket training from a checkpoint; --epochs "
         "is the total budget, so an epoch-k checkpoint runs epochs k..N",
     )
+    _feature_store_args(p_train)
 
     p_sample = sub.add_parser("sample", help="mini-batch training")
     _dataset_args(p_sample)
@@ -84,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fanouts", type=int, nargs="+", default=None,
         help="one fanout per layer (default: 10 per layer)",
     )
+    _feature_store_args(p_sample)
 
     p_pred = sub.add_parser("predict", help="one-shot checkpoint predictions")
     _dataset_args(p_pred)
@@ -138,6 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--request-timeout", type=float, default=30.0,
         help="per-request deadline in seconds (missed deadlines answer 503)",
     )
+    _feature_store_args(p_serve)
 
     p_load = sub.add_parser("loadgen", help="open-loop serving load generator")
     _dataset_args(p_load)
@@ -179,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--num-threads", type=int, default=None,
         help="kernel worker threads for the in-process precompute",
     )
+    _feature_store_args(p_load)
 
     p_ing = sub.add_parser("ingest", help="streaming edge ingestion")
     _dataset_args(p_ing)
@@ -213,6 +217,55 @@ def _dataset_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--dataset", default="ogbn-products")
     p.add_argument("--scale", type=float, default=0.15)
     p.add_argument("--seed", type=int, default=0)
+
+
+def _feature_store_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--feature-store", choices=("resident", "mmap"), default="resident",
+        help="feature tier: 'resident' keeps the matrix in memory (the "
+        "default, unchanged behaviour); 'mmap' reads a read-only on-disk "
+        "layout through the degree-pinned hot-set cache (out-of-core)",
+    )
+    p.add_argument(
+        "--hot-fraction", type=float, default=0.1,
+        help="hot-set cache capacity as a fraction of rows (mmap tier)",
+    )
+    p.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="directory for the on-disk feature layout (mmap tier); "
+        "reused when a matching layout already exists, default a "
+        "per-run temporary directory",
+    )
+
+
+def _make_feature_store(ds, args):
+    """``--feature-store`` flags -> FeatureStore (None = resident default)."""
+    if getattr(args, "feature_store", "resident") == "resident":
+        return None
+    import tempfile
+
+    from repro.featurestore import FeatureStore
+
+    store_dir = args.store_dir or tempfile.mkdtemp(prefix="repro-features-")
+    store = FeatureStore.create(
+        store_dir,
+        ds.features,
+        degrees=ds.graph.in_degrees(),
+        hot_fraction=args.hot_fraction,
+        policy="auto",
+    )
+    print(
+        f"feature store  : mmap tier at {store_dir} "
+        f"({store.bytes_mapped / 1e6:.1f} MB mapped)"
+    )
+    d = store.decision
+    if store.hot is not None and d is not None:
+        print(
+            f"  hot set      : {store.hot.capacity}/{store.num_rows} rows "
+            f"({100 * args.hot_fraction:.0f}%), policy {d.policy} "
+            f"(predicted hit rate {d.predicted_hit_rate:.3f})"
+        )
+    return store
 
 
 def _load(args):
@@ -276,8 +329,9 @@ def cmd_train(args) -> int:
         backend=args.backend,
         num_threads=args.num_threads,
     ).for_dataset(ds.name)
+    store = _make_feature_store(ds, args)
     if args.partitions <= 1:
-        trainer = Trainer(ds, cfg)
+        trainer = Trainer(ds, cfg, feature_store=store)
         start_epoch = 0
         if args.resume:
             start_epoch, _ = load_checkpoint(
@@ -294,7 +348,8 @@ def cmd_train(args) -> int:
                   "(--partitions 1)", file=sys.stderr)
             return 2
         trainer = DistributedTrainer(
-            ds, args.partitions, algorithm=args.algorithm, config=cfg
+            ds, args.partitions, algorithm=args.algorithm, config=cfg,
+            feature_store=store,
         )
         result = trainer.fit(num_epochs=args.epochs, verbose=True)
         model, opt = trainer.ranks[0].model, trainer.ranks[0].optimizer
@@ -318,12 +373,19 @@ def cmd_sample(args) -> int:
         learning_rate=args.lr, eval_every=0, seed=args.seed
     ).for_dataset(ds.name)
     fanouts = args.fanouts or [10] * cfg.num_layers
+    store = _make_feature_store(ds, args)
     trainer = MiniBatchTrainer(
-        ds, fanouts=fanouts, batch_size=args.batch_size, config=cfg
+        ds, fanouts=fanouts, batch_size=args.batch_size, config=cfg,
+        feature_store=store,
     )
     result = trainer.fit(num_epochs=args.epochs, verbose=True)
     print(f"final test accuracy: {result.final_test_acc:.4f}")
     print(f"sampled work       : {trainer.total_work_ops / 1e9:.3f} B ops")
+    if store is not None:
+        hit = store.stats().get("hit_rate")
+        print(f"feature store      : "
+              f"{'n/a' if hit is None else format(hit, '.3f')} hit rate, "
+              f"{store.cold_rows_read} cold rows read")
     return 0
 
 
@@ -359,7 +421,8 @@ def _build_service(args):
 
     ds = _load(args)
     engine = InferenceEngine.from_checkpoint(
-        args.checkpoint, ds, num_threads=args.num_threads
+        args.checkpoint, ds, num_threads=args.num_threads,
+        feature_store=_make_feature_store(ds, args),
     )
     engine.precompute()
     cache_size = getattr(args, "cache_size", 4096)
@@ -396,6 +459,12 @@ def cmd_serve(args) -> int:  # pragma: no cover - interactive loop
     print(f"serving {ds.name} ({engine.model_kind}, {engine.num_vertices} vertices)")
     print(f"  {args.workers} workers, queue bound {args.max_queue}, "
           f"{args.request_timeout:g}s deadline")
+    fs = engine.feature_store.stats()
+    hit = fs.get("hit_rate")
+    print(f"  feature store: tier {fs['tier']}, "
+          f"{fs.get('hot_rows') or 0} hot rows, "
+          f"hit rate {'n/a' if hit is None else format(hit, '.3f')}, "
+          f"{fs['bytes_mapped'] / 1e6:.1f} MB mapped")
     print(f"  POST http://{host}:{port}/predict          "
           '{"vertices": [0, 1], "k": 3}')
     print(f"  POST http://{host}:{port}/update_edges     "

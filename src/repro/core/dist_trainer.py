@@ -56,6 +56,7 @@ from repro.core.drpa import DRPAExchanger, owned_mask
 from repro.core.metrics import EpochStats, Stopwatch, TrainResult
 from repro.core.models import build_model, norm_from_degrees
 from repro.core.sync import allreduce_gradients
+from repro.featurestore import FeatureStore
 from repro.graph.datasets import Dataset
 from repro.nn import Adam, GraphSAGE, SGD, Tensor, masked_cross_entropy
 from repro.nn.tensor import no_grad
@@ -71,10 +72,17 @@ from repro.partition.partition import PartitionedGraph
 
 @dataclass
 class RankState:
-    """Everything one rank owns."""
+    """Everything one rank owns.
+
+    ``features`` may start as ``None`` on the shm backend with a
+    non-resident feature store: the per-rank slice is then gathered
+    *inside* the forked worker (:meth:`ensure_features`) from the shared
+    read-only cold tier, so the parent never materializes ``P`` feature
+    copies — the OS page cache backs all ranks with one set of pages.
+    """
 
     rank: int
-    features: np.ndarray
+    features: Optional[np.ndarray]
     labels: np.ndarray
     train_mask: np.ndarray
     val_mask: np.ndarray
@@ -83,6 +91,18 @@ class RankState:
     norm: Tensor
     model: GraphSAGE
     optimizer: object
+    #: global vertex ids of this rank's partition rows (the gather key
+    #: for deferred feature materialization).
+    global_ids: Optional[np.ndarray] = None
+
+    def ensure_features(self, store: FeatureStore) -> np.ndarray:
+        """Materialize this rank's feature slice from the store (no-op
+        when already resident) — ``store.gather`` returns exactly
+        ``dataset.features[global_ids]``, so deferral is invisible to
+        the training math."""
+        if self.features is None:
+            self.features = store.gather(self.global_ids)
+        return self.features
 
 
 @dataclass
@@ -108,12 +128,22 @@ class DistributedTrainer:
         partitioner: str = "libra",
         parted: Optional[PartitionedGraph] = None,
         backend: Optional[str] = None,
+        feature_store: Optional[FeatureStore] = None,
     ):
         from repro.comm import validate_backend
 
         self.dataset = dataset
         self.config = config or TrainConfig().for_dataset(dataset.name)
         cfg = self.config
+        #: feature tier all ranks read from.  Resident (default) slices
+        #: eagerly, exactly the old per-rank copies.  A non-resident
+        #: store on the shm backend defers slicing into the forked
+        #: workers so every rank reads one shared cold tier.
+        self.feature_store = (
+            feature_store
+            if feature_store is not None
+            else FeatureStore.resident(dataset.features)
+        )
         #: execution backend: "sim" (lockstep, this class's own loop) or
         #: "shm" (SPMD worker processes, :mod:`repro.core.spmd`).
         self.backend = validate_backend(backend or cfg.backend)
@@ -154,6 +184,11 @@ class DistributedTrainer:
 
         self.global_train_count = int(np.asarray(dataset.train_mask).sum())
         global_deg = dataset.graph.in_degrees().astype(np.float32)
+        # shm workers gather their slice post-fork from the shared cold
+        # tier; the lockstep simulator (and resident stores) slice here.
+        defer_features = (
+            self.backend == "shm" and self.feature_store.tier != "resident"
+        )
         self.ranks: List[RankState] = []
         for r in range(num_partitions):
             part = parted.parts[r]
@@ -168,7 +203,10 @@ class DistributedTrainer:
             self.ranks.append(
                 RankState(
                     rank=r,
-                    features=dataset.features[gids],
+                    features=(
+                        None if defer_features else self.feature_store.gather(gids)
+                    ),
+                    global_ids=gids,
                     labels=dataset.labels[gids],
                     train_mask=dataset.train_mask[gids],
                     val_mask=dataset.val_mask[gids],
@@ -330,6 +368,9 @@ class DistributedTrainer:
         cfg = self.config
         for state in self.ranks:
             state.model.eval()
+            # shm runs materialize slices inside the workers; the parent
+            # copy may still be deferred when evaluation happens here.
+            state.ensure_features(self.feature_store)
         with no_grad():
             h = [Tensor(state.features) for state in self.ranks]
             for l in range(cfg.num_layers):

@@ -137,6 +137,10 @@ def _rank_fit(comm: ShmCommunicator, trainer, num_epochs: int) -> Dict:
     cfg = trainer.config
     spec = trainer.spec
     state = trainer.ranks[rank]
+    # Deferred feature slices (non-resident stores) materialize here,
+    # post-fork: every rank maps the same read-only cold tier, so the OS
+    # page cache backs all P workers with a single copy of the pages.
+    state.ensure_features(trainer.feature_store)
     graph = trainer.parted.parts[rank].graph
     view = ShmWorldView(comm)
     # Per-rank exchangers over the shm world view — same routing tables

@@ -26,6 +26,7 @@ from typing import Optional
 from repro.core.config import TrainConfig
 from repro.core.metrics import EpochStats, TrainResult
 from repro.core.models import build_model, norm_from_degrees
+from repro.featurestore import FeatureStore
 from repro.graph.datasets import Dataset
 from repro.kernels.instrumentation import AP_TIMER
 from repro.nn import Adam, GraphSAGE, SGD, Tensor, accuracy, masked_cross_entropy
@@ -33,14 +34,32 @@ from repro.nn.tensor import no_grad
 
 
 class Trainer:
-    """Full-batch single-socket training driver."""
+    """Full-batch single-socket training driver.
 
-    def __init__(self, dataset: Dataset, config: Optional[TrainConfig] = None):
+    Features are read through a :class:`~repro.featurestore.FeatureStore`
+    (default: a resident store over ``dataset.features`` — bit-identical
+    to reading the matrix directly).  Passing an ``mmap``-tier store
+    trains out-of-core: every epoch's layer-0 aggregation gathers from
+    the read-only cold map instead of a resident copy, with identical
+    losses and parameters (``tests/featurestore/test_parity.py``).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        config: Optional[TrainConfig] = None,
+        feature_store: Optional[FeatureStore] = None,
+    ):
         self.dataset = dataset
         self.config = config or TrainConfig().for_dataset(dataset.name)
         cfg = self.config
         self.model = build_model(cfg, dataset.feature_dim, dataset.num_classes)
-        self.features = Tensor(dataset.features)
+        self.feature_store = (
+            feature_store
+            if feature_store is not None
+            else FeatureStore.resident(dataset.features)
+        )
+        self.features = Tensor(self.feature_store.matrix())
         self.norm = norm_from_degrees(cfg.model, dataset.graph.in_degrees())
         self.optimizer = self._make_optimizer()
 

@@ -1,0 +1,52 @@
+"""Feature store: mmap cold tier + cachesim-driven hot-set cache.
+
+The memory hierarchy for raw vertex features, threaded through every
+feature consumer in the repo (trainers, samplers, the serving engine):
+
+- :mod:`repro.featurestore.storage` — the on-disk layout: a chunked
+  row-major ``features.bin`` plus a dtype/shape/endianness manifest,
+  opened as a zero-copy read-only ``np.memmap`` with every manifest
+  field validated before the first row is read.
+- :mod:`repro.featurestore.hotset` — :class:`HotSetCache`: the pinned
+  hot set in front of the cold tier.  Degree-ordered static pinning
+  (the paper's reuse analysis) is the default policy, exact LRU the
+  fallback; :func:`choose_policy` picks between them using the
+  :mod:`repro.cachesim` machinery and the measured hit/miss/eviction
+  counters validate the prediction (``bench_featurestore.py``).
+- :mod:`repro.featurestore.store` — :class:`FeatureStore`: the tiered
+  facade.  The ``resident`` tier wraps an in-memory matrix and
+  preserves the pre-store behavior bit for bit (the drop-in default);
+  the ``mmap`` tier serves out-of-core graphs from the shared cold
+  file — one set of OS page-cache pages across shm SPMD ranks and
+  sampler workers instead of per-process copies.
+"""
+
+from repro.featurestore.hotset import (
+    HotSetCache,
+    PolicyDecision,
+    choose_policy,
+    predict_lru_hit_rate,
+    predict_static_hit_rate,
+    top_rows_by_weight,
+)
+from repro.featurestore.storage import (
+    FeatureLayoutError,
+    open_feature_layout,
+    read_manifest,
+    write_feature_layout,
+)
+from repro.featurestore.store import FeatureStore
+
+__all__ = [
+    "FeatureStore",
+    "HotSetCache",
+    "PolicyDecision",
+    "choose_policy",
+    "predict_static_hit_rate",
+    "predict_lru_hit_rate",
+    "top_rows_by_weight",
+    "FeatureLayoutError",
+    "write_feature_layout",
+    "open_feature_layout",
+    "read_manifest",
+]

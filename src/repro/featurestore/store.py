@@ -1,0 +1,252 @@
+"""Tiered feature store: resident / mmap cold tier + hot-set cache.
+
+:class:`FeatureStore` is the one abstraction every feature consumer in
+the repo reads through — both trainers, the neighbor-sampling paths, and
+the serving engine's precompute/refresh.  Two tiers:
+
+- ``resident`` — wraps an in-memory matrix and preserves today's
+  behavior *exactly*: ``matrix()`` returns the wrapped array itself and
+  ``gather(ids)`` is ``features[ids]``, so a store-threaded consumer is
+  bit-identical to the pre-store code path (the drop-in default).
+- ``mmap`` — a read-only zero-copy :mod:`storage <repro.featurestore.
+  storage>` map as the cold tier, optionally fronted by a
+  :class:`~repro.featurestore.hotset.HotSetCache` whose admission policy
+  the cache simulator chose.  The OS page cache shares the cold tier
+  across every process that opens (or forks with) the store — shm SPMD
+  ranks read one file instead of holding per-rank feature copies.
+
+Updates (``update_rows``) keep the mmap tier servable: the read-only map
+is never written; instead the first update materializes one private
+patched copy (exactly the full writable copy the serving engine used to
+hold unconditionally) and subsequent updates land in place there and in
+any cached hot rows — reads before and after an update are always
+consistent with NumPy fancy-assignment semantics on a resident matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.featurestore.hotset import (
+    HotSetCache,
+    PolicyDecision,
+    choose_policy,
+    top_rows_by_weight,
+)
+from repro.featurestore.storage import open_feature_layout, write_feature_layout
+from repro.graph.csr import INDEX_DTYPE
+
+TIERS = ("resident", "mmap")
+
+
+class FeatureStore:
+    """Row-oriented view over a feature matrix with tiered backing."""
+
+    def __init__(
+        self,
+        tier: str,
+        base: np.ndarray,
+        hot: Optional[HotSetCache] = None,
+        path: Optional[str] = None,
+        decision: Optional[PolicyDecision] = None,
+    ):
+        if tier not in TIERS:
+            raise ValueError(f"unknown tier {tier!r} (one of {TIERS})")
+        self.tier = tier
+        self._base = base
+        self.hot = hot
+        self.path = path
+        #: how the hot-set policy was chosen (mmap tier with a cache).
+        self.decision = decision
+        #: private patched copy, created by the first mmap-tier update.
+        self._patched: Optional[np.ndarray] = None
+        self.cold_rows_read = 0
+        self.num_updates = 0
+        if hot is not None:
+            hot.warm(self._cold_fetch)
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def resident(cls, features: np.ndarray) -> "FeatureStore":
+        """Wrap an in-memory matrix; behavior-preserving default tier."""
+        return cls("resident", np.asarray(features))
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        hot_fraction: float = 0.1,
+        policy: str = "auto",
+        degrees: Optional[np.ndarray] = None,
+        trace: Optional[np.ndarray] = None,
+        tolerance: Optional[float] = None,
+    ) -> "FeatureStore":
+        """Open an on-disk layout as the mmap cold tier.
+
+        ``hot_fraction`` of the rows are cached hot (0 disables the
+        cache); ``degrees`` (access weights) drive the paper's static
+        degree-ordered pinning, ``trace`` the LRU replay — see
+        :func:`~repro.featurestore.hotset.choose_policy`.  Without
+        ``degrees`` there is nothing to rank static pins by, so the
+        policy falls back to LRU.
+        """
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        base, _manifest = open_feature_layout(path)
+        num_rows = base.shape[0]
+        capacity = int(round(hot_fraction * num_rows))
+        hot = None
+        decision = None
+        if capacity >= 1:
+            if degrees is None and policy in ("auto", "static"):
+                policy = "lru"
+            weights = (
+                np.asarray(degrees, dtype=np.float64)
+                if degrees is not None
+                else np.zeros(num_rows)
+            )
+            if degrees is not None and weights.shape != (num_rows,):
+                raise ValueError(
+                    f"degrees shape {weights.shape} does not match "
+                    f"{num_rows} feature rows"
+                )
+            kwargs = {} if tolerance is None else {"tolerance": tolerance}
+            decision = choose_policy(
+                weights, capacity, trace=trace, policy=policy, **kwargs
+            )
+            hot_ids = (
+                top_rows_by_weight(weights, capacity)
+                if decision.policy == "static"
+                else None
+            )
+            hot = HotSetCache(
+                num_rows, capacity, policy=decision.policy, hot_ids=hot_ids
+            )
+        return cls("mmap", base, hot=hot, path=path, decision=decision)
+
+    @classmethod
+    def create(cls, path: str, features: np.ndarray, **open_kwargs) -> "FeatureStore":
+        """Spill ``features`` to ``path`` (if no layout is there yet) and
+        open the result as an mmap store.  An existing layout is reused
+        only when its shape matches — anything else fails loudly rather
+        than serving another matrix's rows."""
+        from repro.featurestore.storage import FeatureLayoutError, read_manifest
+
+        features = np.asarray(features)
+        try:
+            manifest = read_manifest(path)
+        except FeatureLayoutError:
+            write_feature_layout(path, features)
+        else:
+            if manifest["shape"] != features.shape or (
+                manifest["dtype"] != features.dtype.newbyteorder("=")
+            ):
+                raise FeatureLayoutError(
+                    f"existing layout at {path!r} holds shape "
+                    f"{manifest['shape']} dtype {np.dtype(manifest['dtype']).str!r}, "
+                    f"requested {tuple(features.shape)} "
+                    f"{features.dtype.str!r}: refusing to reuse it"
+                )
+        return cls.open(path, **open_kwargs)
+
+    # -- shape ------------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return int(self._base.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self._base.shape[1])
+
+    @property
+    def shape(self):
+        return self._base.shape
+
+    @property
+    def dtype(self):
+        return self._base.dtype
+
+    @property
+    def bytes_mapped(self) -> int:
+        """Bytes served through the zero-copy mmap view (0 when resident
+        or after an update materialized the private patched copy)."""
+        if self.tier == "mmap" and self._patched is None:
+            return int(self._base.nbytes)
+        return 0
+
+    # -- reads ------------------------------------------------------------------
+
+    def _backing(self) -> np.ndarray:
+        return self._patched if self._patched is not None else self._base
+
+    def _cold_fetch(self, ids: np.ndarray) -> np.ndarray:
+        self.cold_rows_read += int(ids.size)
+        return self._backing()[ids]
+
+    def gather(self, ids) -> np.ndarray:
+        """One feature row per id (a fresh array, request order kept) —
+        bit-identical to ``features[ids]`` on the resident matrix."""
+        ids = np.asarray(ids, dtype=INDEX_DTYPE)
+        if self.tier == "resident" or self.hot is None:
+            return self._cold_fetch(ids)
+        return self.hot.gather(ids, self._cold_fetch)
+
+    def matrix(self) -> np.ndarray:
+        """The whole matrix for full-scan consumers (precompute, full-
+        batch training).  Resident: the wrapped array itself.  Mmap: the
+        read-only zero-copy map, or the private patched copy once an
+        update has landed."""
+        if self.tier == "resident":
+            return self._base
+        return self._backing()
+
+    # -- writes -----------------------------------------------------------------
+
+    def update_rows(self, ids, rows) -> None:
+        """Overwrite rows (NumPy fancy-assignment semantics: duplicate
+        ids resolve last-wins).  Resident writes in place; mmap writes
+        the private patched copy (materialized on first update — the
+        read-only cold file is never touched) and refreshes any cached
+        hot rows so ``gather`` never serves a stale copy."""
+        ids = np.asarray(ids, dtype=INDEX_DTYPE)
+        rows = np.asarray(rows, dtype=self.dtype)
+        if self.tier == "mmap" and self._patched is None:
+            self._patched = np.array(self._base, copy=True)
+        self._backing()[ids] = rows
+        if self.hot is not None:
+            self.hot.update_rows(ids, rows)
+        self.num_updates += 1
+
+    # -- introspection ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-safe gauges: tier, hot rows, hit rate, bytes mapped."""
+        out = {
+            "tier": self.tier,
+            "num_rows": self.num_rows,
+            "dim": self.dim,
+            "dtype": str(np.dtype(self.dtype)),
+            "bytes_mapped": self.bytes_mapped,
+            "cold_rows_read": self.cold_rows_read,
+            "num_updates": self.num_updates,
+            "patched": self._patched is not None,
+            "hot_rows": self.hot.hot_rows if self.hot is not None else 0,
+            "hit_rate": self.hot.hit_rate if self.hot is not None else None,
+            "policy": self.hot.policy if self.hot is not None else None,
+        }
+        if self.hot is not None:
+            out["hot"] = self.hot.stats()
+        if self.decision is not None:
+            out["decision"] = self.decision.to_json()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - logging convenience
+        hot = f", hot={self.hot.capacity} ({self.hot.policy})" if self.hot else ""
+        return (
+            f"FeatureStore(tier={self.tier!r}, shape={tuple(self.shape)}, "
+            f"dtype={np.dtype(self.dtype)}{hot})"
+        )

@@ -35,7 +35,12 @@ from repro.graph.generators import (
     rmat_graph,
     sbm_graph,
 )
-from repro.graph.io import load_graph, save_graph
+from repro.graph.io import (
+    load_feature_layout,
+    load_graph,
+    save_feature_layout,
+    save_graph,
+)
 from repro.graph.utils import (
     average_degree,
     density,
@@ -63,6 +68,8 @@ __all__ = [
     "load_dataset",
     "save_graph",
     "load_graph",
+    "save_feature_layout",
+    "load_feature_layout",
     "in_degrees",
     "out_degrees",
     "average_degree",

@@ -1,9 +1,16 @@
-"""Persistence for graphs and datasets (compressed ``.npz``)."""
+"""Persistence for graphs and datasets.
+
+Graph structure (plus aligned extras) round-trips through compressed
+``.npz``; feature matrices additionally persist as an *on-disk feature
+layout* — a chunk-written raw binary plus JSON manifest that the
+feature store can map read-only without loading it
+(:mod:`repro.featurestore.storage`).
+"""
 
 from __future__ import annotations
 
 import os
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -60,3 +67,33 @@ def load_graph(path: str):
             if key.startswith("extra_")
         }
     return g, extras
+
+
+def save_feature_layout(
+    dirpath: str, features: np.ndarray, chunk_rows: Optional[int] = None
+) -> dict:
+    """Persist ``features`` as a mappable on-disk layout under ``dirpath``.
+
+    Thin re-export of
+    :func:`repro.featurestore.storage.write_feature_layout` so dataset
+    persistence lives in one module; ``repro.graph`` may depend on
+    ``repro.featurestore`` (never the reverse).  Returns the manifest.
+    """
+    from repro.featurestore import storage
+
+    if chunk_rows is None:
+        return storage.write_feature_layout(dirpath, features)
+    return storage.write_feature_layout(dirpath, features, chunk_rows=chunk_rows)
+
+
+def load_feature_layout(dirpath: str) -> Tuple[np.ndarray, dict]:
+    """Open a layout written by :func:`save_feature_layout`.
+
+    Returns ``(features, manifest)`` where ``features`` is a *read-only*
+    zero-copy view (an ``np.memmap`` for non-empty layouts).  Manifest
+    mismatches — dtype, shape, endianness, truncation — raise
+    :class:`~repro.featurestore.storage.FeatureLayoutError`.
+    """
+    from repro.featurestore import storage
+
+    return storage.open_feature_layout(dirpath)

@@ -40,9 +40,19 @@ class DistMiniBatchTrainer:
         fanouts: Sequence[int],
         batch_size: int = 512,
         config: Optional[TrainConfig] = None,
+        feature_store=None,
     ):
+        from repro.featurestore import FeatureStore
+
         self.dataset = dataset
         self.config = config or TrainConfig().for_dataset(dataset.name)
+        # the simulated Dist-DGL feature server reads through the store
+        # (resident default = direct dataset slicing, bit-identical)
+        self.feature_store = (
+            feature_store
+            if feature_store is not None
+            else FeatureStore.resident(dataset.features)
+        )
         cfg = self.config
         if len(fanouts) != cfg.num_layers:
             raise ValueError("need one fanout per layer")
@@ -103,7 +113,7 @@ class DistMiniBatchTrainer:
                     self.world.counters.record_p2p(
                         owner_rank, rank, int(cnt) * d * 4
                     )
-        return self.dataset.features[vertices]
+        return self.feature_store.gather(vertices)
 
     # -- lockstep epoch -----------------------------------------------------------
 

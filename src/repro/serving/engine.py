@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.checkpoint import config_from_meta, load_checkpoint, peek_checkpoint
 from repro.core.config import TrainConfig
 from repro.core.models import build_model, norm_from_degrees
+from repro.featurestore import FeatureStore
 from repro.graph.csr import CSRGraph, INDEX_DTYPE
 from repro.graph.datasets import Dataset
 from repro.nn.gcn import GCN
@@ -111,9 +112,16 @@ class InferenceEngine:
     Online, :meth:`predict` / :meth:`topk` are row lookups into the
     logits table.
 
-    The engine owns a *writable copy* of the dataset's feature matrix so
-    :class:`repro.serving.refresh.IncrementalRefresher` can apply feature
-    updates without mutating the dataset.
+    Features are read through a :class:`~repro.featurestore.FeatureStore`.
+    By default the engine builds a private *resident* store over a
+    writable copy of the dataset's feature matrix (exactly the old
+    engine-owned copy), so :class:`repro.serving.refresh.
+    IncrementalRefresher` can apply feature updates without mutating the
+    dataset.  Passing an ``mmap``-tier store serves out-of-core graphs:
+    precompute scans the read-only cold map, the on-demand path gathers
+    through the hot-set cache, and updates land in the store's private
+    patched copy (:meth:`update_feature_rows`) — answers stay
+    bit-identical to the resident tier.
     """
 
     def __init__(
@@ -123,6 +131,7 @@ class InferenceEngine:
         config: Optional[TrainConfig] = None,
         checkpoint_epoch: int = 0,
         num_threads: Optional[int] = None,
+        feature_store: Optional[FeatureStore] = None,
     ):
         self.model_kind = model_kind(model)  # validates the architecture
         self.dataset = dataset
@@ -143,15 +152,25 @@ class InferenceEngine:
         if num_threads is not None:
             for layer in model.layers:
                 layer.num_threads = num_threads
-        #: engine-owned writable feature matrix (refresh target).
-        self.features = np.array(dataset.features, copy=True)
+        #: engine-owned feature tier (refresh target).  The default
+        #: resident store wraps a private writable copy of the dataset
+        #: matrix; route updates through :meth:`update_feature_rows`.
+        self.feature_store = (
+            feature_store
+            if feature_store is not None
+            else FeatureStore.resident(np.array(dataset.features, copy=True))
+        )
         #: delta-CSR shadow of ``graph``, attached lazily by the first
         #: ``update_edges`` (see :mod:`repro.dyngraph.serving_updates`).
         #: Once set, ``self.graph`` tracks its merged view and diverges
         #: from ``dataset.graph`` — the dataset stays frozen.
         self.dynamic = None
         self.norm = norm_from_degrees(self.model_kind, self.graph.in_degrees())
-        #: ``layer_inputs[l]`` feeds layer ``l``; ``layer_inputs[0] is self.features``.
+        #: ``layer_inputs[l]`` feeds layer ``l``; ``layer_inputs[0]``
+        #: shares the store's current matrix (the array itself on the
+        #: resident tier, a zero-copy view of the map on mmap), and
+        #: :meth:`update_feature_rows` re-anchors it when an update
+        #: swaps the backing (mmap materializing its patched copy).
         self.layer_inputs: List[np.ndarray] = []
         self.logits: Optional[np.ndarray] = None
         self.num_precomputes = 0
@@ -169,6 +188,7 @@ class InferenceEngine:
         dataset: Dataset,
         config: Optional[TrainConfig] = None,
         num_threads: Optional[int] = None,
+        feature_store: Optional[FeatureStore] = None,
     ) -> "InferenceEngine":
         """Rebuild the trained model from a ``core.checkpoint`` file.
 
@@ -177,6 +197,8 @@ class InferenceEngine:
         overrides it, and the dataset's paper shape is the fallback.
         ``num_threads`` parallelizes the precompute APs (the serving-tier
         knob — checkpoints carry architecture, not machine shape).
+        ``feature_store`` swaps the default resident copy for e.g. an
+        mmap-tier store (``repro serve --feature-store mmap``).
         """
         epoch, extra = peek_checkpoint(path)
         cfg = config_from_meta(
@@ -186,8 +208,27 @@ class InferenceEngine:
         load_checkpoint(path, model)
         return cls(
             dataset, model, config=cfg, checkpoint_epoch=epoch,
-            num_threads=num_threads,
+            num_threads=num_threads, feature_store=feature_store,
         )
+
+    # -- features ---------------------------------------------------------------
+
+    @property
+    def features(self) -> np.ndarray:
+        """The store's current full matrix.  Writable in place on the
+        default resident tier (back-compat); the mmap tier's map is
+        read-only — route updates through :meth:`update_feature_rows`."""
+        return self.feature_store.matrix()
+
+    def update_feature_rows(self, vertex_ids, rows) -> None:
+        """Overwrite feature rows through the store (fancy-assignment
+        semantics) and keep ``layer_inputs[0]`` anchored to the store's
+        live matrix — on the mmap tier the first update swaps the
+        read-only map for the private patched copy, and the stale view
+        must not keep feeding layer 0's refresh reads."""
+        self.feature_store.update_rows(vertex_ids, rows)
+        if self.layer_inputs:
+            self.layer_inputs[0] = np.asarray(self.feature_store.matrix())
 
     # -- offline precompute ------------------------------------------------------
 
@@ -255,4 +296,5 @@ class InferenceEngine:
             "num_precomputes": self.num_precomputes,
             "num_threads": self.num_threads,
             "ready": self.logits is not None,
+            "feature_store": self.feature_store.stats(),
         }

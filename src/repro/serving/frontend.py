@@ -326,6 +326,8 @@ class ServingFrontend:
         with self._lock:
             depth, in_flight, draining = self._depth, self._in_flight, self._draining
         cache = getattr(self.service, "cache", None)
+        engine = getattr(self.service, "engine", None)
+        store = getattr(engine, "feature_store", None)
         return self.metrics.snapshot(
             queue_depth=depth,
             in_flight=in_flight,
@@ -333,6 +335,8 @@ class ServingFrontend:
             max_queue=self.max_queue,
             num_workers=self.num_workers,
             cache_hit_rate=float(cache.hit_rate) if cache is not None else None,
+            # feature-tier gauges: tier, hot rows, hit rate, bytes mapped
+            feature_store=store.stats() if store is not None else None,
         )
 
     def close(self) -> None:

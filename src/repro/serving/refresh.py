@@ -157,7 +157,9 @@ class OnDemandInference:
         model.eval()
         try:
             with no_grad():
-                h = engine.features[batch.input_vertices]
+                # rides the feature store's hot-set cache on the mmap
+                # tier (bit-identical rows either way)
+                h = engine.feature_store.gather(batch.input_vertices)
                 for layer, block in zip(model.layers, batch.blocks):
                     z = layer.aggregate(
                         block.graph, Tensor(h), Tensor(norm[block.src_global])
@@ -227,7 +229,7 @@ class IncrementalRefresher:
         # first occurrence in the reversed batch == last occurrence in
         # the original, so this is an explicit last-wins dedupe
         changed, last = np.unique(ids[::-1], return_index=True)
-        engine.features[changed] = rows[::-1][last]
+        engine.update_feature_rows(changed, rows[::-1][last])
         affected = affected_sets(engine.graph, changed, engine.num_layers)
         fraction = affected[-1].size / max(engine.num_vertices, 1)
         mode, recomputed = self._apply_refresh_policy(affected, fraction)

@@ -234,7 +234,7 @@ class PredictionService:
                     f"({ids.size}, {engine.features.shape[1]})"
                 )
             changed, last = np.unique(ids[::-1], return_index=True)
-            engine.features[changed] = rows[::-1][last]
+            engine.update_feature_rows(changed, rows[::-1][last])
             engine.precompute()
             return RefreshStats(
                 mode="full",

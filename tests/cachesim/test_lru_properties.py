@@ -1,0 +1,76 @@
+"""Counter-conservation audit for LRUFeatureCache.
+
+Property-based mirror of the ResultCache accounting contract: under any
+interleaving of ``access`` and ``access_many``,
+
+- ``lookups == hits + misses`` (every lookup lands in exactly one bucket),
+- ``occupancy == misses - evictions`` (every miss inserts, every
+  eviction removes, nothing else moves a key),
+- ``occupancy <= capacity`` at every instant.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cachesim.lru import LRUFeatureCache
+
+keys = st.integers(min_value=0, max_value=19)
+ops = st.lists(
+    st.one_of(
+        keys,  # single access
+        st.lists(keys, min_size=0, max_size=12),  # batched access_many
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+def _check_invariants(cache: LRUFeatureCache) -> None:
+    assert cache.lookups == cache.hits + cache.misses
+    assert cache.occupancy == cache.misses - cache.evictions
+    assert 0 <= cache.occupancy <= cache.capacity
+    assert cache.accesses == cache.lookups
+
+
+@settings(max_examples=200, deadline=None)
+@given(capacity=st.integers(min_value=1, max_value=8), trace=ops)
+def test_conservation_under_interleaved_access(capacity, trace):
+    cache = LRUFeatureCache(capacity)
+    for op in trace:
+        if isinstance(op, list):
+            added = cache.access_many(np.array(op, dtype=np.int64))
+            assert added >= 0
+        else:
+            cache.access(op)
+        _check_invariants(cache)
+
+
+@settings(max_examples=50, deadline=None)
+@given(capacity=st.integers(min_value=1, max_value=8), trace=ops)
+def test_reset_clears_every_counter_and_slot(capacity, trace):
+    cache = LRUFeatureCache(capacity)
+    for op in trace:
+        if isinstance(op, list):
+            cache.access_many(np.array(op, dtype=np.int64))
+        else:
+            cache.access(op)
+    cache.reset()
+    assert (cache.lookups, cache.hits, cache.misses, cache.evictions) == (
+        0, 0, 0, 0
+    )
+    assert cache.occupancy == 0
+    # post-reset behavior is indistinguishable from a fresh cache
+    assert cache.access(0) is False
+    _check_invariants(cache)
+
+
+def test_eviction_order_is_least_recently_used():
+    cache = LRUFeatureCache(2)
+    cache.access(1)
+    cache.access(2)
+    cache.access(1)  # refresh 1 -> 2 is now LRU
+    cache.access(3)  # evicts 2
+    assert cache.access(1) and cache.access(3)
+    assert not cache.access(2)
+    assert cache.evictions == 2  # 2 evicted, then 1 evicted re-adding 2

@@ -1,0 +1,60 @@
+"""Feature-store gauges surface through the serving metrics endpoint."""
+
+import numpy as np
+import pytest
+
+from repro.core import TrainConfig, Trainer, save_checkpoint
+from repro.core.checkpoint import training_meta
+from repro.featurestore import FeatureStore
+from repro.graph.datasets import load_dataset
+from repro.serving import InferenceEngine, PredictionService, ServingFrontend
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return load_dataset("reddit", scale=0.02, seed=5)
+
+
+@pytest.fixture(scope="module")
+def checkpoint(ds, tmp_path_factory):
+    cfg = TrainConfig(num_layers=2, hidden_features=8, eval_every=0, seed=0)
+    trainer = Trainer(ds, cfg)
+    trainer.fit(num_epochs=2)
+    path = str(tmp_path_factory.mktemp("ckpt") / "gauges.npz")
+    save_checkpoint(path, trainer.model, trainer.optimizer, epoch=2,
+                    extra=training_meta(cfg))
+    return path
+
+
+def _snapshot(checkpoint, ds, store):
+    engine = InferenceEngine.from_checkpoint(checkpoint, ds, feature_store=store)
+    engine.precompute()
+    service = PredictionService(engine)
+    frontend = ServingFrontend(service, num_workers=1)
+    try:
+        frontend.call("predict", lambda: service.predict_logits([0, 1, 2]))
+        return frontend.metrics_snapshot()
+    finally:
+        frontend.close()
+        service.close()
+
+
+def test_metrics_carry_mmap_feature_store_gauges(tmp_path, checkpoint, ds):
+    store = FeatureStore.create(
+        str(tmp_path / "store"), ds.features,
+        degrees=ds.graph.in_degrees(), hot_fraction=0.1,
+    )
+    snap = _snapshot(checkpoint, ds, store)
+    fs = snap["feature_store"]
+    assert fs["tier"] == "mmap"
+    assert fs["hot_rows"] == store.hot.hot_rows > 0
+    assert fs["bytes_mapped"] == np.asarray(ds.features).nbytes
+    assert 0.0 <= fs["hit_rate"] <= 1.0
+    assert fs["decision"]["policy"] in ("static", "lru")
+
+
+def test_metrics_carry_resident_feature_store_gauges(checkpoint, ds):
+    snap = _snapshot(checkpoint, ds, None)
+    fs = snap["feature_store"]
+    assert fs["tier"] == "resident"
+    assert fs["bytes_mapped"] == 0 and fs["hit_rate"] is None

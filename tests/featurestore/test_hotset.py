@@ -1,0 +1,215 @@
+"""Hot-set cache: gather fidelity, counters, and cachesim policy choice."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.lru import LRUFeatureCache
+from repro.featurestore.hotset import (
+    HotSetCache,
+    choose_policy,
+    predict_lru_hit_rate,
+    predict_static_hit_rate,
+    top_rows_by_weight,
+)
+
+N, D = 50, 6
+
+
+@pytest.fixture
+def matrix():
+    return np.random.default_rng(0).standard_normal((N, D)).astype(np.float32)
+
+
+def _fetch(matrix):
+    def cold(ids):
+        return matrix[ids]
+
+    return cold
+
+
+# -- predictions -------------------------------------------------------------------
+
+
+def test_top_rows_by_weight_orders_and_breaks_ties_low_id():
+    w = np.array([1.0, 5.0, 5.0, 0.0, 9.0])
+    np.testing.assert_array_equal(top_rows_by_weight(w, 3), [4, 1, 2])
+    assert top_rows_by_weight(w, 0).size == 0
+    assert top_rows_by_weight(w, 99).size == 5
+
+
+def test_predict_static_hit_rate_is_weight_mass():
+    w = np.array([6.0, 3.0, 1.0, 0.0])
+    assert predict_static_hit_rate(w, 1) == pytest.approx(0.6)
+    assert predict_static_hit_rate(w, 2) == pytest.approx(0.9)
+    assert predict_static_hit_rate(np.zeros(4), 2) == 0.0
+
+
+def test_predict_lru_hit_rate_matches_direct_replay():
+    trace = np.random.default_rng(1).integers(0, 20, size=500)
+    cache = LRUFeatureCache(8)
+    cache.access_many(trace)
+    assert predict_lru_hit_rate(trace, 8) == pytest.approx(
+        cache.hits / cache.accesses
+    )
+    assert predict_lru_hit_rate(np.zeros(0), 8) == 0.0
+
+
+def test_choose_policy_static_on_skew_lru_on_recency():
+    skewed = np.array([100.0, 50.0] + [1.0] * 48)
+    d = choose_policy(skewed, capacity=2)
+    assert d.policy == "static"
+    assert d.predicted_hit_rate == d.static_hit_rate
+
+    # uniform weights but a tight working set: the LRU replay wins
+    uniform = np.ones(N)
+    trace = np.tile(np.arange(4), 200)
+    d = choose_policy(uniform, capacity=5, trace=trace)
+    assert d.lru_hit_rate > d.static_hit_rate
+    assert d.policy == "lru"
+    assert d.predicted_hit_rate == d.lru_hit_rate
+
+    # explicit policy is honored either way
+    assert choose_policy(uniform, 5, trace=trace, policy="static").policy == "static"
+    with pytest.raises(ValueError, match="unknown policy"):
+        choose_policy(uniform, 5, policy="mru")
+
+
+def test_policy_decision_round_trips_json(matrix):
+    import json
+
+    d = choose_policy(np.ones(N), 5, trace=np.arange(10))
+    assert json.loads(json.dumps(d.to_json()))["capacity"] == 5
+
+
+# -- static cache ------------------------------------------------------------------
+
+
+def test_static_gather_matches_direct_slicing(matrix):
+    hot_ids = top_rows_by_weight(np.arange(N, dtype=float), 10)
+    cache = HotSetCache(N, 10, policy="static", hot_ids=hot_ids)
+    cache.warm(_fetch(matrix))
+    rng = np.random.default_rng(2)
+    for _ in range(5):
+        ids = rng.integers(0, N, size=33)
+        np.testing.assert_array_equal(
+            cache.gather(ids, _fetch(matrix)), matrix[ids]
+        )
+    assert cache.lookups == cache.hits + cache.misses == 5 * 33
+    assert cache.evictions == 0
+
+
+def test_static_warm_does_not_count_and_all_hot_skips_cold(matrix):
+    hot_ids = np.arange(10)
+    cache = HotSetCache(N, 10, policy="static", hot_ids=hot_ids)
+    cache.warm(_fetch(matrix))
+    assert cache.lookups == 0 and cache.hot_rows == 10
+
+    calls = []
+
+    def counting(ids):
+        calls.append(ids.size)
+        return matrix[ids]
+
+    out = cache.gather(np.array([3, 7, 3, 9]), counting)
+    np.testing.assert_array_equal(out, matrix[[3, 7, 3, 9]])
+    assert calls == []  # all-hit fast path never touches the cold tier
+    assert cache.hits == 4 and cache.misses == 0
+
+
+def test_static_counts_hits_exactly(matrix):
+    cache = HotSetCache(N, 5, policy="static", hot_ids=np.arange(5))
+    ids = np.array([0, 1, 2, 30, 40])
+    cache.gather(ids, _fetch(matrix))
+    assert (cache.hits, cache.misses) == (3, 2)
+
+
+def test_static_requires_valid_hot_ids():
+    with pytest.raises(ValueError, match="hot_ids"):
+        HotSetCache(N, 5, policy="static")
+    with pytest.raises(ValueError, match="out of range"):
+        HotSetCache(N, 5, policy="static", hot_ids=np.array([N + 3]))
+    with pytest.raises(ValueError, match="capacity"):
+        HotSetCache(N, 0, policy="static", hot_ids=np.zeros(0, dtype=np.int64))
+    with pytest.raises(ValueError, match="unknown policy"):
+        HotSetCache(N, 5, policy="fifo")
+
+
+# -- LRU cache ---------------------------------------------------------------------
+
+
+def test_lru_gather_matches_direct_slicing(matrix):
+    cache = HotSetCache(N, 8, policy="lru")
+    rng = np.random.default_rng(3)
+    for _ in range(10):
+        ids = rng.integers(0, N, size=25)
+        np.testing.assert_array_equal(
+            cache.gather(ids, _fetch(matrix)), matrix[ids]
+        )
+
+
+def test_lru_counters_match_cachesim_replay(matrix):
+    """The live cache IS the simulated policy: identical hits/misses/
+    evictions as LRUFeatureCache on the same sequential trace."""
+    trace = np.random.default_rng(4).integers(0, N, size=400)
+    cache = HotSetCache(N, 8, policy="lru")
+    for lo in range(0, trace.size, 16):
+        cache.gather(trace[lo : lo + 16], _fetch(matrix))
+    sim = LRUFeatureCache(8)
+    sim.access_many(trace)
+    assert (cache.hits, cache.misses, cache.evictions) == (
+        sim.hits, sim.misses, sim.evictions
+    )
+    assert cache.hot_rows == sim.occupancy <= 8
+
+
+def test_lru_batch_internal_repeat_is_a_hit(matrix):
+    cache = HotSetCache(N, 4, policy="lru")
+    cache.gather(np.array([7, 7, 7]), _fetch(matrix))
+    assert (cache.hits, cache.misses) == (2, 1)
+
+
+def test_lru_empty_gather(matrix):
+    cache = HotSetCache(N, 4, policy="lru")
+    out = cache.gather(np.zeros(0, dtype=np.int64), _fetch(matrix))
+    assert out.shape[0] == 0
+    assert cache.lookups == 0
+
+
+def test_capacity_clamped_to_num_rows(matrix):
+    cache = HotSetCache(N, 10 * N, policy="lru")
+    assert cache.capacity == N
+
+
+# -- update coherence --------------------------------------------------------------
+
+
+def test_static_update_rows_refreshes_pins(matrix):
+    work = matrix.copy()
+    cache = HotSetCache(N, 5, policy="static", hot_ids=np.arange(5))
+    cache.warm(_fetch(work))
+    new = np.full((2, D), 7.5, dtype=np.float32)
+    work[[1, 20]] = new
+    cache.update_rows(np.array([1, 20]), new)
+    ids = np.array([1, 20, 2])
+    np.testing.assert_array_equal(cache.gather(ids, _fetch(work)), work[ids])
+
+
+def test_lru_update_rows_refreshes_resident_entries(matrix):
+    work = matrix.copy()
+    cache = HotSetCache(N, 8, policy="lru")
+    cache.gather(np.array([5, 6]), _fetch(work))
+    new = np.full((2, D), -3.0, dtype=np.float32)
+    work[[5, 40]] = new
+    cache.update_rows(np.array([5, 40]), new)
+    ids = np.array([5, 40])
+    np.testing.assert_array_equal(cache.gather(ids, _fetch(work)), work[ids])
+
+
+def test_reset_counters(matrix):
+    cache = HotSetCache(N, 4, policy="lru")
+    cache.gather(np.array([1, 2, 1]), _fetch(matrix))
+    cache.reset_counters()
+    assert (cache.hits, cache.misses, cache.evictions, cache.lookups) == (
+        0, 0, 0, 0
+    )
+    assert cache.hot_rows == 2  # contents survive a counter reset

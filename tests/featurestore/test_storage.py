@@ -1,0 +1,195 @@
+"""On-disk feature layout: round-trip fidelity and loud manifest failures."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.featurestore.storage import (
+    DATA_NAME,
+    FORMAT_VERSION,
+    FeatureLayoutError,
+    data_path,
+    manifest_path,
+    open_feature_layout,
+    read_manifest,
+    write_feature_layout,
+)
+
+
+def _write(tmp_path, arr, **kw):
+    d = str(tmp_path / "layout")
+    write_feature_layout(d, arr, **kw)
+    return d
+
+
+@pytest.mark.parametrize(
+    "dtype", ["float32", "float64", "float16", "int32", "int64", "uint8"]
+)
+def test_round_trip_exact(tmp_path, dtype):
+    rng = np.random.default_rng(3)
+    arr = (rng.standard_normal((37, 5)) * 100).astype(dtype)
+    d = _write(tmp_path, arr)
+    out, manifest = open_feature_layout(d)
+    assert out.dtype == np.dtype(dtype)
+    assert out.shape == (37, 5)
+    np.testing.assert_array_equal(np.asarray(out), arr)
+    assert manifest["shape"] == (37, 5)
+    assert manifest["nbytes"] == arr.nbytes
+
+
+def test_mapped_view_is_read_only(tmp_path):
+    arr = np.arange(12, dtype=np.float32).reshape(4, 3)
+    out, _ = open_feature_layout(_write(tmp_path, arr))
+    with pytest.raises((ValueError, RuntimeError)):
+        out[0, 0] = 1.0
+
+
+def test_chunked_writes_are_byte_identical(tmp_path):
+    arr = np.random.default_rng(0).standard_normal((100, 7)).astype(np.float32)
+    d1 = str(tmp_path / "one")
+    d2 = str(tmp_path / "many")
+    write_feature_layout(d1, arr, chunk_rows=1000)
+    write_feature_layout(d2, arr, chunk_rows=3)
+    with open(data_path(d1), "rb") as a, open(data_path(d2), "rb") as b:
+        assert a.read() == b.read()
+
+
+def test_byte_swapped_input_written_native(tmp_path):
+    arr = np.arange(20, dtype=np.float32).reshape(4, 5)
+    swapped = arr.astype(arr.dtype.newbyteorder())
+    d = _write(tmp_path, swapped)
+    out, manifest = open_feature_layout(d)
+    assert manifest["dtype"].isnative
+    np.testing.assert_array_equal(np.asarray(out), arr)
+
+
+def test_empty_matrix_round_trips_read_only(tmp_path):
+    arr = np.zeros((0, 8), dtype=np.float32)
+    out, _ = open_feature_layout(_write(tmp_path, arr))
+    assert out.shape == (0, 8)
+    assert not out.flags.writeable
+
+
+def test_write_rejects_bad_inputs(tmp_path):
+    d = str(tmp_path / "x")
+    with pytest.raises(FeatureLayoutError, match="2-D"):
+        write_feature_layout(d, np.zeros(5, dtype=np.float32))
+    with pytest.raises(FeatureLayoutError, match="dtype"):
+        write_feature_layout(d, np.array([[object()]]))
+    with pytest.raises(FeatureLayoutError, match="chunk_rows"):
+        write_feature_layout(d, np.zeros((2, 2), dtype=np.float32), chunk_rows=0)
+
+
+# -- manifest validation ----------------------------------------------------------
+
+
+@pytest.fixture
+def layout(tmp_path):
+    d = str(tmp_path / "layout")
+    write_feature_layout(
+        d, np.arange(24, dtype=np.float32).reshape(6, 4)
+    )
+    return d
+
+
+def _patch_manifest(d, **updates):
+    with open(manifest_path(d)) as fh:
+        m = json.load(fh)
+    m.update(updates)
+    with open(manifest_path(d), "w") as fh:
+        json.dump(m, fh)
+
+
+def test_missing_manifest(tmp_path):
+    with pytest.raises(FeatureLayoutError, match="missing manifest.json"):
+        read_manifest(str(tmp_path / "nowhere"))
+
+
+def test_corrupt_manifest_json(layout):
+    with open(manifest_path(layout), "w") as fh:
+        fh.write("{not json")
+    with pytest.raises(FeatureLayoutError, match="unreadable manifest"):
+        read_manifest(layout)
+
+
+def test_manifest_must_be_object(layout):
+    with open(manifest_path(layout), "w") as fh:
+        json.dump([1, 2, 3], fh)
+    with pytest.raises(FeatureLayoutError, match="JSON object"):
+        read_manifest(layout)
+
+
+def test_manifest_missing_fields(layout):
+    with open(manifest_path(layout)) as fh:
+        m = json.load(fh)
+    del m["dtype"], m["nbytes"]
+    with open(manifest_path(layout), "w") as fh:
+        json.dump(m, fh)
+    with pytest.raises(FeatureLayoutError, match="missing fields.*dtype.*nbytes"):
+        read_manifest(layout)
+
+
+def test_version_mismatch(layout):
+    _patch_manifest(layout, format_version=FORMAT_VERSION + 1)
+    with pytest.raises(FeatureLayoutError, match="format version"):
+        read_manifest(layout)
+
+
+def test_garbage_dtype(layout):
+    _patch_manifest(layout, dtype="not-a-dtype")
+    with pytest.raises(FeatureLayoutError, match="not a NumPy dtype"):
+        read_manifest(layout)
+
+
+@pytest.mark.parametrize("shape", [[6], [6, 4, 1], [6, -4], [6, "4"], "64"])
+def test_bad_shape(layout, shape):
+    _patch_manifest(layout, shape=shape)
+    with pytest.raises(FeatureLayoutError, match="shape"):
+        read_manifest(layout)
+
+
+def test_byte_order_contradicts_dtype(layout):
+    # dtype says little-endian (on this machine), byte_order claims big
+    other = "big" if np.dtype("<f4").isnative else "little"
+    _patch_manifest(layout, byte_order=other)
+    with pytest.raises(FeatureLayoutError, match="refusing to guess"):
+        read_manifest(layout)
+
+
+def test_foreign_endianness_refused(layout):
+    """A consistent manifest from an other-endian machine fails with a
+    message that says how to fix it, not with silently-garbled rows."""
+    foreign = np.dtype("float32").newbyteorder()
+    order = "big" if foreign.str.startswith(">") else "little"
+    _patch_manifest(layout, dtype=foreign.str, byte_order=order)
+    with pytest.raises(FeatureLayoutError, match="endian.*write_feature_layout"):
+        read_manifest(layout)
+
+
+def test_nbytes_inconsistent(layout):
+    _patch_manifest(layout, nbytes=17)
+    with pytest.raises(FeatureLayoutError, match="nbytes 17 does not match"):
+        read_manifest(layout)
+
+
+def test_data_file_missing(layout):
+    os.remove(data_path(layout))
+    with pytest.raises(FeatureLayoutError, match="feature file missing"):
+        open_feature_layout(layout)
+
+
+def test_truncated_data_file(layout):
+    size = os.path.getsize(data_path(layout))
+    with open(data_path(layout), "r+b") as fh:
+        fh.truncate(size - 4)
+    with pytest.raises(FeatureLayoutError, match="truncated"):
+        open_feature_layout(layout)
+
+
+def test_overgrown_data_file(layout):
+    with open(data_path(layout), "ab") as fh:
+        fh.write(b"\x00" * 8)
+    with pytest.raises(FeatureLayoutError, match=str(DATA_NAME)):
+        open_feature_layout(layout)

@@ -34,6 +34,7 @@ def test_all_subpackages_import():
     import repro.comm
     import repro.core
     import repro.dyngraph
+    import repro.featurestore
     import repro.graph
     import repro.kernels
     import repro.nn
@@ -45,6 +46,7 @@ def test_all_subpackages_import():
     for pkg in (
         repro.graph,
         repro.dyngraph,
+        repro.featurestore,
         repro.kernels,
         repro.cachesim,
         repro.partition,
@@ -130,6 +132,44 @@ def test_dyngraph_public_surface():
     assert state.assign([0, 1], [1, 2]).shape == (2,)
     assert callable(streaming_libra_partition)
     assert np.array_equal(dyn.csr().in_degrees(), dyn.in_degrees())
+
+
+def test_featurestore_public_surface():
+    """Satellite of PR 7: the feature-store subsystem's documented names."""
+    import tempfile
+
+    from repro.featurestore import (
+        FeatureLayoutError,
+        FeatureStore,
+        HotSetCache,
+        PolicyDecision,
+        choose_policy,
+        open_feature_layout,
+        predict_lru_hit_rate,
+        predict_static_hit_rate,
+        write_feature_layout,
+    )
+    # layout persistence re-exported next to save_graph/load_graph
+    from repro.graph import load_feature_layout, save_feature_layout
+
+    assert issubclass(FeatureLayoutError, ValueError)
+    for fn in (
+        choose_policy, predict_static_hit_rate, predict_lru_hit_rate,
+        write_feature_layout, open_feature_layout,
+        save_feature_layout, load_feature_layout,
+    ):
+        assert callable(fn)
+    assert hasattr(HotSetCache, "gather") and hasattr(PolicyDecision, "to_json")
+
+    X = np.arange(12, dtype=np.float32).reshape(6, 2)
+    assert FeatureStore.resident(X).matrix() is X
+    with tempfile.TemporaryDirectory() as tmp:
+        save_feature_layout(tmp, X)
+        loaded, manifest = load_feature_layout(tmp)
+        np.testing.assert_array_equal(np.asarray(loaded), X)
+        assert manifest["shape"] == (6, 2)
+        store = FeatureStore.open(tmp, degrees=np.arange(6.0))
+        np.testing.assert_array_equal(store.gather([5, 0]), X[[5, 0]])
 
 
 def test_nn_exports_all_models():
