@@ -1,0 +1,29 @@
+"""Rule registry for ``repro check``.
+
+Each rule exposes ``code`` (stable REPxxx identifier), ``name``, and
+``check(ctx) -> Iterable[Violation]``.  Add new rules here to enroll
+them in the default run.
+"""
+
+from .blocking import BlockingUnderLockRule
+from .excepts import BroadExceptRule
+from .guarded import GuardedByRule
+from .readonly import ReadOnlyHandoutRule
+
+ALL_RULES = [
+    GuardedByRule,
+    BlockingUnderLockRule,
+    ReadOnlyHandoutRule,
+    BroadExceptRule,
+]
+
+RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_CODE",
+    "GuardedByRule",
+    "BlockingUnderLockRule",
+    "ReadOnlyHandoutRule",
+    "BroadExceptRule",
+]

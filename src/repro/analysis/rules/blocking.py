@@ -1,0 +1,129 @@
+"""REP102 — no blocking calls while holding a lock.
+
+Flags, lexically inside ``with <lock>:`` (or a ``# requires-lock:``
+method):
+
+- ``time.sleep(...)`` (any duration),
+- ``<x>.join()`` with no arguments — a thread/process join without a
+  timeout (``str.join`` always takes an argument, so it never matches),
+- ``<x>.get()`` / ``<x>.result()`` with no timeout — unbounded waits on
+  queues and futures,
+- ``<x>.wait(...)`` without a timeout, unless ``<x>`` is itself a held
+  condition (``Condition.wait`` releases its own lock),
+- ``urlopen`` / ``socket.create_connection`` — network I/O.
+
+These are latency/deadlock hazards: any thread contending for the held
+lock stalls for the full duration of the call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Optional, Set
+
+from ..linter import FileContext, Violation
+from .common import (
+    EMPTY_CLASS_LOCKS,
+    collect_class_locks,
+    collect_name_locks,
+    iter_functions,
+    self_attr,
+    walk_held,
+)
+
+_NETWORK_CALLEES = {"urlopen", "create_connection", "getaddrinfo"}
+
+
+def _has_timeout(call: ast.Call) -> bool:
+    if any(kw.arg in ("timeout", "block") for kw in call.keywords):
+        return True
+    return bool(call.args)
+
+
+class BlockingUnderLockRule:
+    code = "REP102"
+    name = "blocking call under lock"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        name_locks = collect_name_locks(ctx)
+        from_time_sleep = self._imports_sleep(ctx)
+        for cls, func in iter_functions(ctx):
+            facts = (
+                collect_class_locks(ctx, cls) if cls is not None else EMPTY_CLASS_LOCKS
+            )
+            found = []
+
+            def on_node(node: ast.AST, held: FrozenSet[str]) -> None:
+                if not held or not isinstance(node, ast.Call):
+                    return
+                message = self._classify(node, held, facts, name_locks, from_time_sleep)
+                if message:
+                    found.append(
+                        ctx.violation(
+                            self.code,
+                            node,
+                            f"{message} while holding {sorted(held)}",
+                        )
+                    )
+
+            walk_held(ctx, func, facts, name_locks, on_node)
+            yield from found
+
+    @staticmethod
+    def _imports_sleep(ctx: FileContext) -> bool:
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                if any(alias.name == "sleep" for alias in node.names):
+                    return True
+        return False
+
+    def _classify(
+        self,
+        call: ast.Call,
+        held: FrozenSet[str],
+        facts,
+        name_locks: Set[str],
+        from_time_sleep: bool,
+    ) -> Optional[str]:
+        func = call.func
+        callee = None
+        if isinstance(func, ast.Attribute):
+            callee = func.attr
+        elif isinstance(func, ast.Name):
+            callee = func.id
+
+        if callee == "sleep":
+            if isinstance(func, ast.Attribute):
+                if isinstance(func.value, ast.Name) and func.value.id == "time":
+                    return "time.sleep()"
+                return None
+            return "sleep()" if from_time_sleep else None
+
+        if callee in _NETWORK_CALLEES:
+            return f"network call {callee}()"
+
+        if not isinstance(func, ast.Attribute):
+            return None
+
+        if callee == "join" and not call.args and not call.keywords:
+            return "join() without timeout"
+
+        if callee in ("get", "result") and not _has_timeout(call):
+            return f"{callee}() without timeout"
+
+        if callee == "wait" and not _has_timeout(call):
+            receiver = self._receiver_lock(func.value, facts, name_locks)
+            if receiver is not None and receiver in held:
+                return None  # Condition.wait on a held lock releases it.
+            return "wait() without timeout"
+
+        return None
+
+    @staticmethod
+    def _receiver_lock(expr: ast.AST, facts, name_locks: Set[str]) -> Optional[str]:
+        attr = self_attr(expr)
+        if attr is not None and attr in facts.lock_names():
+            return facts.canonical(attr)
+        if isinstance(expr, ast.Name) and expr.id in name_locks:
+            return expr.id
+        return None

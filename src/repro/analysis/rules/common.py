@@ -1,0 +1,214 @@
+"""Shared AST helpers for the lint rules: lock discovery + held tracking.
+
+The rules reason about locks at *name* level, mirroring the runtime
+sanitizer: ``self._lock`` inside a class and ``_POOL_LOCK`` at module
+scope are lock names; ``with <lock>:`` pushes the canonical name onto
+the held set for the duration of the block.  Nested ``def``/``lambda``
+bodies run later on arbitrary threads, so they reset the held set (a
+``# requires-lock:`` marker re-seeds it).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Optional, Set
+
+from ..annotations import markers_in_range, markers_on_lines
+from ..invariants import LOCK_FACTORY_NAMES, THREADING_LOCK_CTORS
+from ..linter import FileContext
+
+
+def self_attr(node: ast.AST) -> Optional[str]:
+    """``self.<attr>`` -> attr name, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _callee_name(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def is_lock_ctor(node: ast.AST) -> bool:
+    """Does this expression construct a mutex/condition?"""
+    if not isinstance(node, ast.Call):
+        return False
+    name = _callee_name(node)
+    if name in LOCK_FACTORY_NAMES:
+        return True
+    if name in THREADING_LOCK_CTORS:
+        if isinstance(node.func, ast.Name):
+            return True
+        if isinstance(node.func, ast.Attribute) and isinstance(
+            node.func.value, ast.Name
+        ):
+            return node.func.value.id == "threading"
+    return False
+
+
+def condition_alias_target(node: ast.AST) -> Optional[str]:
+    """``threading.Condition(self._lock)`` -> '_lock' (structural alias)."""
+    if isinstance(node, ast.Call) and _callee_name(node) == "Condition" and node.args:
+        return self_attr(node.args[0])
+    return None
+
+
+def _strip_self(name: str) -> str:
+    return name[5:] if name.startswith("self.") else name
+
+
+@dataclass
+class ClassLocks:
+    """Lock facts for one class, from structure + comment markers."""
+
+    locks: Set[str] = field(default_factory=set)
+    aliases: Dict[str, str] = field(default_factory=dict)  # attr -> lock attr
+    guarded: Dict[str, str] = field(default_factory=dict)  # attr -> lock attr
+
+    def canonical(self, name: str) -> str:
+        return self.aliases.get(name, name)
+
+    def lock_names(self) -> Set[str]:
+        return self.locks | set(self.aliases)
+
+
+EMPTY_CLASS_LOCKS = ClassLocks()
+
+
+def collect_class_locks(ctx: FileContext, cls: ast.ClassDef) -> ClassLocks:
+    facts = ClassLocks()
+    for node in ast.walk(cls):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            value = node.value
+            # Declaration markers must sit on the assignment's own lines;
+            # the line-above convenience would bleed across adjacent decls.
+            markers = markers_on_lines(
+                ctx.comments, node.lineno, getattr(node, "end_lineno", node.lineno)
+            )
+            for target in targets:
+                attr = self_attr(target)
+                if attr is None:
+                    continue
+                if value is not None and is_lock_ctor(value):
+                    facts.locks.add(attr)
+                    alias = condition_alias_target(value)
+                    if alias is not None:
+                        facts.aliases[attr] = alias
+                if "alias-of" in markers:
+                    facts.aliases[attr] = _strip_self(markers["alias-of"])
+                if "guarded-by" in markers:
+                    facts.guarded[attr] = _strip_self(markers["guarded-by"])
+    return facts
+
+
+def collect_name_locks(ctx: FileContext) -> Set[str]:
+    """Plain-name lock bindings (module globals or function locals)."""
+    names: Set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assign) and is_lock_ctor(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def def_markers(ctx: FileContext, func: ast.AST) -> Dict[str, str]:
+    """Markers on the ``def`` line itself (or the line above) only."""
+    lineno = getattr(func, "lineno", None)
+    if lineno is None:
+        return {}
+    return markers_in_range(ctx.comments, lineno, lineno)
+
+
+def initial_held(ctx: FileContext, func: ast.AST, facts: ClassLocks) -> FrozenSet[str]:
+    markers = def_markers(ctx, func)
+    requires = markers.get("requires-lock")
+    if not requires:
+        return frozenset()
+    return frozenset(
+        facts.canonical(_strip_self(part.strip()))
+        for part in requires.split(",")
+        if part.strip()
+    )
+
+
+def acquired_name(
+    expr: ast.AST, facts: ClassLocks, name_locks: Set[str]
+) -> Optional[str]:
+    """Canonical lock name a ``with <expr>:`` item acquires, if any."""
+    attr = self_attr(expr)
+    if attr is not None and attr in facts.lock_names():
+        return facts.canonical(attr)
+    if isinstance(expr, ast.Name) and expr.id in name_locks:
+        return expr.id
+    return None
+
+
+def walk_held(
+    ctx: FileContext,
+    func: ast.AST,
+    facts: ClassLocks,
+    name_locks: Set[str],
+    on_node: Callable[[ast.AST, FrozenSet[str]], None],
+) -> None:
+    """Visit ``func``'s body calling ``on_node(node, held_lock_names)``."""
+
+    def visit(node: ast.AST, held: FrozenSet[str]) -> None:
+        if isinstance(node, ast.With):
+            acquired = set()
+            for item in node.items:
+                visit(item.context_expr, held)
+                if item.optional_vars is not None:
+                    visit(item.optional_vars, held)
+                name = acquired_name(item.context_expr, facts, name_locks)
+                if name is not None:
+                    acquired.add(name)
+            inner = held | frozenset(acquired)
+            for stmt in node.body:
+                visit(stmt, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Closure bodies run later, possibly without the lock.
+            inner = initial_held(ctx, node, facts)
+            for stmt in node.body:
+                visit(stmt, inner)
+            return
+        if isinstance(node, ast.Lambda):
+            visit(node.body, frozenset())
+            return
+        on_node(node, held)
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    body = getattr(func, "body", [])
+    start = initial_held(ctx, func, facts)
+    for stmt in body:
+        visit(stmt, start)
+
+
+def iter_functions(ctx: FileContext):
+    """Yield ``(class_node_or_None, function_node)`` pairs, outermost only.
+
+    Nested defs are handled inside :func:`walk_held`, so they are not
+    yielded separately.
+    """
+    def visit(node: ast.AST, cls: Optional[ast.ClassDef]):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from visit(child, child)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield cls, child
+            else:
+                yield from visit(child, cls)
+
+    yield from visit(ctx.tree, None)

@@ -1,0 +1,58 @@
+"""REP104 — classified broad excepts.
+
+``except Exception:`` / ``except BaseException:`` / bare ``except:``
+swallow every error indiscriminately.  Each one must either re-raise
+(an ``ast.Raise`` anywhere in the handler) or carry an
+``# audit[broad-except]: <reason>`` marker stating where the error goes
+(metrics counter, future delivery, HTTP 500, ...).  Unclassified broad
+handlers are exactly how serving bugs turn into silent wrong answers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..annotations import markers_in_range
+from ..linter import FileContext, Violation
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> str:
+    if handler.type is None:
+        return "bare except"
+    node = handler.type
+    if isinstance(node, ast.Name) and node.id in _BROAD:
+        return f"except {node.id}"
+    if isinstance(node, ast.Attribute) and node.attr in _BROAD:
+        return f"except {node.attr}"
+    return ""
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+class BroadExceptRule:
+    code = "REP104"
+    name = "classified broad excepts"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            kind = _is_broad(node)
+            if not kind:
+                continue
+            if _reraises(node):
+                continue
+            markers = markers_in_range(ctx.comments, node.lineno, node.lineno)
+            if markers.get("audit[broad-except]"):
+                continue
+            yield ctx.violation(
+                self.code,
+                node,
+                f"{kind} without re-raise or '# audit[broad-except]: "
+                "<reason>' marker",
+            )

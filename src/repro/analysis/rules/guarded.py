@@ -1,0 +1,81 @@
+"""REP101 — guarded-by discipline.
+
+Attributes declared with ``# guarded-by: <lock>`` may only be touched
+while the canonical lock is held: lexically inside ``with self.<lock>:``
+(aliases count), or in a method marked ``# requires-lock: <lock>``.
+``__init__`` is exempt (construction happens-before publication), and a
+``# racy-ok: <reason>`` marker on the access line suppresses the
+finding for documented benign races.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..annotations import markers_in_range
+from ..linter import FileContext, Violation
+from .common import (
+    collect_class_locks,
+    collect_name_locks,
+    self_attr,
+    walk_held,
+)
+
+
+class GuardedByRule:
+    code = "REP101"
+    name = "guarded-by discipline"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        name_locks = collect_name_locks(ctx)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node, name_locks)
+
+    def _check_class(
+        self, ctx: FileContext, cls: ast.ClassDef, name_locks
+    ) -> Iterator[Violation]:
+        facts = collect_class_locks(ctx, cls)
+        if not facts.guarded:
+            return
+        # Sanity: every guard target must be a known lock of the class.
+        for attr, lock in sorted(facts.guarded.items()):
+            if facts.canonical(lock) not in facts.lock_names() | {lock}:
+                pass  # tolerated: guard may name a lock the class receives
+        violations: List[Violation] = []
+
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name == "__init__":
+                continue
+
+            def on_node(node: ast.AST, held) -> None:
+                attr = self_attr(node)
+                if attr is None or attr not in facts.guarded:
+                    return
+                lock = facts.canonical(facts.guarded[attr])
+                if lock in held:
+                    return
+                line = getattr(node, "lineno", 0)
+                markers = markers_in_range(ctx.comments, line, line)
+                if markers.get("racy-ok"):
+                    return
+                violations.append(
+                    ctx.violation(
+                        self.code,
+                        node,
+                        f"self.{attr} accessed without holding self.{lock}"
+                        f" (guarded-by: {lock})",
+                    )
+                )
+
+            walk_held(ctx, item, facts, name_locks, on_node)
+
+        # One finding per (scope, message) site; repeated hits on one
+        # line collapse naturally via the dict.
+        seen = {}
+        for v in violations:
+            seen.setdefault((v.scope, v.line, v.message), v)
+        yield from seen.values()

@@ -1,0 +1,154 @@
+"""REP103 — read-only hand-out contract.
+
+Arrays crossing the cache / feature-store / CSR API boundary are handed
+out ``writeable=False`` so a caller mutation cannot silently corrupt
+shared serving state.  Three checks:
+
+1. Every registered hand-out function (``invariants.HANDOUT_FUNCTIONS``)
+   must exist and contain at least one freeze operation —
+   ``x.setflags(write=False)``, ``x.flags.writeable = False``, or a call
+   to a registered freezer helper.  A missing function is registry drift
+   and also flagged.
+2. ``setflags(write=True)`` anywhere is a violation (thawing a frozen
+   hand-out defeats the contract).
+3. In-place stores through known-frozen attributes
+   (``invariants.FROZEN_ATTRS``: CSR ``indptr``/``indices``/``edge_ids``)
+   are violations — they would raise at runtime on the real frozen
+   arrays; the lint catches them before a test has to.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from ..invariants import FREEZER_HELPERS, FROZEN_ATTRS, HANDOUT_FUNCTIONS
+from ..linter import FileContext, Violation
+
+
+def _write_flag_value(call: ast.Call) -> Optional[bool]:
+    """The ``write=`` value of a ``setflags`` call, if determinable."""
+    for kw in call.keywords:
+        if kw.arg == "write" and isinstance(kw.value, ast.Constant):
+            return bool(kw.value.value)
+    if call.args and isinstance(call.args[0], ast.Constant):
+        return bool(call.args[0].value)
+    return None
+
+
+def _is_freeze_op(node: ast.AST) -> bool:
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "setflags" and _write_flag_value(node) is False:
+                return True
+            if func.attr in FREEZER_HELPERS:
+                return True
+        elif isinstance(func, ast.Name) and func.id in FREEZER_HELPERS:
+            return True
+        return False
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr == "writeable"
+                and isinstance(target.value, ast.Attribute)
+                and target.value.attr == "flags"
+            ):
+                if isinstance(node.value, ast.Constant) and node.value.value is False:
+                    return True
+    return False
+
+
+def _attr_of_store_target(target: ast.AST) -> Optional[str]:
+    """Attribute name a subscript-store or aug-store writes through."""
+    if isinstance(target, ast.Subscript):
+        base = target.value
+        if isinstance(base, ast.Attribute):
+            return base.attr
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return None
+
+
+class ReadOnlyHandoutRule:
+    code = "REP103"
+    name = "read-only hand-out contract"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        yield from self._check_registry(ctx)
+        yield from self._check_thaw_and_frozen_stores(ctx)
+
+    # -- 1: registered hand-out functions must freeze --------------------
+
+    def _check_registry(self, ctx: FileContext) -> Iterator[Violation]:
+        wanted: Dict[str, Tuple[str, str]] = {
+            qualname: (suffix, qualname)
+            for suffix, qualname in HANDOUT_FUNCTIONS
+            if ctx.path.endswith(suffix)
+        }
+        if not wanted:
+            return
+        seen: Set[str] = set()
+        for node, qualname in list(ctx.qualnames.items()):
+            if qualname not in wanted or not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            seen.add(qualname)
+            if not any(_is_freeze_op(sub) for sub in ast.walk(node)):
+                yield ctx.violation(
+                    self.code,
+                    node,
+                    f"hand-out function {qualname} returns arrays without a "
+                    "freeze (setflags(write=False) / flags.writeable = False "
+                    "/ freezer helper)",
+                )
+        for qualname in sorted(set(wanted) - seen):
+            yield Violation(
+                code=self.code,
+                path=ctx.path,
+                line=1,
+                scope="",
+                message=(
+                    f"registered hand-out function {qualname} not found "
+                    "(update analysis/invariants.py if it moved)"
+                ),
+            )
+
+    # -- 2 + 3: thaw calls and stores through frozen attrs ---------------
+
+    def _check_thaw_and_frozen_stores(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "setflags"
+                    and _write_flag_value(node) is True
+                ):
+                    yield ctx.violation(
+                        self.code,
+                        node,
+                        "setflags(write=True) re-enables writes on a "
+                        "handed-out array",
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._frozen_store(ctx, node, target)
+            elif isinstance(node, ast.AugAssign):
+                yield from self._frozen_store(ctx, node, node.target)
+
+    def _frozen_store(
+        self, ctx: FileContext, stmt: ast.AST, target: ast.AST
+    ) -> Iterator[Violation]:
+        if not isinstance(target, ast.Subscript):
+            return  # plain attribute rebinds are fine; only element stores
+        attr = _attr_of_store_target(target)
+        if attr in FROZEN_ATTRS:
+            yield ctx.violation(
+                self.code,
+                stmt,
+                f"in-place store through frozen CSR attribute .{attr} "
+                "(frozen at construction in graph/csr.py)",
+            )

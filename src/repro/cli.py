@@ -20,6 +20,12 @@ Commands
                a running server (``--url``) or an in-process service
                built from a checkpoint; reports offered vs achieved
                throughput, p50/p99 latency, and reject/timeout rates.
+``check``      project-invariant static analysis: guarded-by discipline,
+               blocking-under-lock, read-only hand-outs, classified
+               broad excepts (REP101–REP104); text or ``--json`` report,
+               optional ``--baseline`` suppression file, exit 1 on new
+               violations.  Pairs with the ``REPRO_SANITIZE=1`` runtime
+               lock-order sanitizer (see docs/ARCHITECTURE.md §8).
 """
 
 from __future__ import annotations
@@ -209,6 +215,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--state", default=None, metavar="NPZ",
         help="LibraState checkpoint: resumed when the file exists, "
         "written on exit (makes ingestion restartable)",
+    )
+
+    p_check = sub.add_parser(
+        "check", help="project-invariant static analysis (REP1xx rules)"
+    )
+    p_check.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p_check.add_argument(
+        "--json", action="store_true", dest="json_output",
+        help="machine-readable report on stdout",
+    )
+    p_check.add_argument(
+        "--rules", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    p_check.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppression file: violations whose fingerprint appears in "
+        "it are reported but do not fail the run",
+    )
+    p_check.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current violations to --baseline and exit 0",
+    )
+    p_check.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
     )
     return parser
 
@@ -563,6 +598,57 @@ def cmd_loadgen(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    from repro.analysis import (
+        check_paths,
+        load_baseline,
+        render_json,
+        render_text,
+        split_baselined,
+        write_baseline,
+    )
+    from repro.analysis.rules import ALL_RULES, RULES_BY_CODE
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.name}")
+        return 0
+
+    rules = None
+    if args.rules:
+        codes = [c.strip().upper() for c in args.rules.split(",") if c.strip()]
+        unknown = [c for c in codes if c not in RULES_BY_CODE]
+        if unknown:
+            print(f"unknown rule code(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        rules = [RULES_BY_CODE[c]() for c in codes]
+
+    violations = check_paths(args.paths, rules=rules)
+
+    if args.write_baseline:
+        if not args.baseline:
+            print("--write-baseline requires --baseline FILE", file=sys.stderr)
+            return 2
+        write_baseline(args.baseline, violations)
+        print(f"baseline written: {args.baseline} "
+              f"({len(violations)} suppression(s))")
+        return 0
+
+    baseline = set()
+    if args.baseline:
+        import os
+
+        if os.path.exists(args.baseline):
+            baseline = load_baseline(args.baseline)
+    fresh, suppressed = split_baselined(violations, baseline)
+
+    if args.json_output:
+        print(render_json(fresh, suppressed))
+    else:
+        print(render_text(fresh, suppressed))
+    return 1 if fresh else 0
+
+
 def cmd_ingest(args) -> int:
     import os
     import time
@@ -678,6 +764,7 @@ COMMANDS = {
     "serve": cmd_serve,
     "ingest": cmd_ingest,
     "loadgen": cmd_loadgen,
+    "check": cmd_check,
 }
 
 

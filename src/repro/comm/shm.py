@@ -265,6 +265,8 @@ def _worker_entry(state: _SharedState, rank: int, timeout: float, fn, args):
     comm = ShmCommunicator(state, rank, timeout)
     try:
         value = fn(comm, *args)
+    # The parent raises RuntimeError naming every failed rank.
+    # audit[broad-except]: traceback shipped to the parent via the result queue
     except BaseException:
         state.results.put((rank, False, traceback.format_exc()))
     else:

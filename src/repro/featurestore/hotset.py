@@ -30,8 +30,16 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.analysis.sanitizers import make_lock
 from repro.cachesim.lru import LRUFeatureCache
 from repro.graph.csr import INDEX_DTYPE
+
+
+def _frozen_rows(rows: np.ndarray) -> np.ndarray:
+    """Seal a gather result before it crosses the API boundary (the
+    read-only hand-out contract, REP103)."""
+    rows.setflags(write=False)
+    return rows
 
 #: default absolute tolerance on |measured - predicted| hit rate: the
 #: prediction trace and the live trace are drawn from the same access
@@ -175,15 +183,20 @@ class HotSetCache:
         self.capacity = int(min(capacity, num_rows)) if num_rows else int(capacity)
         self.capacity = max(self.capacity, 1)
         self.policy = policy
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        # static: slot table row-id -> pinned slot (-1 = cold)
+        # One lock covers the counters and both residency structures:
+        # concurrent serving gathers would otherwise race the LRU
+        # recency order and the hit/miss conservation invariant.
+        self._lock = make_lock("featurestore.hotset")
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
+        # static: slot table row-id -> pinned slot (-1 = cold); read-only
+        # after construction
         self._slot = np.full(self.num_rows, -1, dtype=np.int64)
         self._pinned_ids = np.zeros(0, dtype=INDEX_DTYPE)
-        self._rows: Optional[np.ndarray] = None  # pinned row matrix
+        self._rows: Optional[np.ndarray] = None  # guarded-by: _lock
         # lru: id -> cached row (OrderedDict insertion order = recency)
-        self._lru: "OrderedDict[int, Optional[np.ndarray]]" = OrderedDict()
+        self._lru: "OrderedDict[int, Optional[np.ndarray]]" = OrderedDict()  # guarded-by: _lock
         if policy == "static":
             if hot_ids is None:
                 raise ValueError("static policy needs hot_ids to pin")
@@ -199,40 +212,54 @@ class HotSetCache:
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        with self._lock:
+            return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        total = self.lookups
-        return self.hits / total if total else 0.0
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def _hot_rows_locked(self) -> int:  # requires-lock: _lock
+        if self.policy == "static":
+            return int(self._pinned_ids.size) if self._rows is not None else 0
+        return len(self._lru)
 
     @property
     def hot_rows(self) -> int:
         """Rows currently resident in the hot tier."""
-        if self.policy == "static":
-            return int(self._pinned_ids.size) if self._rows is not None else 0
-        return len(self._lru)
+        with self._lock:
+            return self._hot_rows_locked()
 
     @property
     def pinned_ids(self) -> np.ndarray:
         return self._pinned_ids
 
     def stats(self) -> dict:
+        # One critical section so the reported counters satisfy the
+        # conservation invariant (lookups == hits + misses) exactly.
+        with self._lock:
+            hits, misses, evictions = self.hits, self.misses, self.evictions
+            hot_rows = self._hot_rows_locked()
+        lookups = hits + misses
         return {
             "policy": self.policy,
             "capacity": self.capacity,
-            "hot_rows": self.hot_rows,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "lookups": self.lookups,
-            "hit_rate": self.hit_rate,
+            "hot_rows": hot_rows,
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "lookups": lookups,
+            "hit_rate": hits / lookups if lookups else 0.0,
         }
 
     def reset_counters(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     # -- the gather path --------------------------------------------------------
 
@@ -240,22 +267,32 @@ class HotSetCache:
         """Materialize the static pinned rows (no-op for LRU, which
         warms on traffic).  Pin reads don't count as misses — they are
         the one-time admission, not steady-state traffic."""
+        with self._lock:
+            self._warm_locked(cold_fetch)
+
+    def _warm_locked(self, cold_fetch) -> None:  # requires-lock: _lock
         if self.policy == "static" and self._rows is None:
-            self._rows = np.ascontiguousarray(cold_fetch(self._pinned_ids))
+            # The pinned matrix must stay privately writable: update_rows
+            # rewrites pins in place, so never adopt a frozen hand-out.
+            self._rows = np.array(cold_fetch(self._pinned_ids), copy=True)
 
     def gather(
         self, ids: np.ndarray, cold_fetch: Callable[[np.ndarray], np.ndarray]
     ) -> np.ndarray:
         """One row per id; misses are fetched from ``cold_fetch`` in a
-        single batched call (duplicate misses fetch once)."""
+        single batched call (duplicate misses fetch once).  The returned
+        batch is read-only (hand-out contract)."""
         ids = np.asarray(ids, dtype=INDEX_DTYPE)
-        if self.policy == "static":
-            return self._gather_static(ids, cold_fetch)
-        return self._gather_lru(ids, cold_fetch)
+        with self._lock:
+            if self.policy == "static":
+                rows = self._gather_static(ids, cold_fetch)
+            else:
+                rows = self._gather_lru(ids, cold_fetch)
+        return _frozen_rows(rows)
 
-    def _gather_static(self, ids, cold_fetch):
+    def _gather_static(self, ids, cold_fetch):  # requires-lock: _lock
         if self._rows is None:
-            self.warm(cold_fetch)
+            self._warm_locked(cold_fetch)
         slots = self._slot[ids]
         hit = slots >= 0
         num_hits = int(hit.sum())
@@ -270,7 +307,7 @@ class HotSetCache:
         out[~hit] = cold
         return out
 
-    def _gather_lru(self, ids, cold_fetch):
+    def _gather_lru(self, ids, cold_fetch):  # requires-lock: _lock
         cache = self._lru
         # id -> output positions still waiting for the cold row.  A
         # missed id is inserted immediately (value None until the
@@ -322,14 +359,15 @@ class HotSetCache:
         """
         ids = np.asarray(ids, dtype=INDEX_DTYPE)
         rows = np.asarray(rows)
-        if self.policy == "static":
-            if self._rows is None:
+        with self._lock:
+            if self.policy == "static":
+                if self._rows is None:
+                    return
+                slots = self._slot[ids]
+                hot = slots >= 0
+                if hot.any():
+                    self._rows[slots[hot]] = rows[hot]
                 return
-            slots = self._slot[ids]
-            hot = slots >= 0
-            if hot.any():
-                self._rows[slots[hot]] = rows[hot]
-            return
-        for key, row in zip(ids.tolist(), rows):
-            if key in self._lru and self._lru[key] is not None:
-                self._lru[key] = np.ascontiguousarray(row)
+            for key, row in zip(ids.tolist(), rows):
+                if key in self._lru and self._lru[key] is not None:
+                    self._lru[key] = np.ascontiguousarray(row)

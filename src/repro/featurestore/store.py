@@ -29,6 +29,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analysis.sanitizers import make_lock
 from repro.featurestore.hotset import (
     HotSetCache,
     PolicyDecision,
@@ -39,6 +40,20 @@ from repro.featurestore.storage import open_feature_layout, write_feature_layout
 from repro.graph.csr import INDEX_DTYPE
 
 TIERS = ("resident", "mmap")
+
+
+def _frozen_rows(rows: np.ndarray) -> np.ndarray:
+    """Freeze a freshly gathered row batch before it leaves the store."""
+    rows.setflags(write=False)
+    return rows
+
+
+def _frozen_view(matrix: np.ndarray) -> np.ndarray:
+    """Hand out a read-only view; the backing array stays writable so
+    ``update_rows`` can keep patching it in place."""
+    view = matrix.view()
+    view.setflags(write=False)
+    return view
 
 
 class FeatureStore:
@@ -62,8 +77,9 @@ class FeatureStore:
         self.decision = decision
         #: private patched copy, created by the first mmap-tier update.
         self._patched: Optional[np.ndarray] = None
-        self.cold_rows_read = 0
-        self.num_updates = 0
+        self._stats_lock = make_lock("featurestore.store.stats")
+        self.cold_rows_read = 0  # guarded-by: _stats_lock
+        self.num_updates = 0  # guarded-by: _stats_lock
         if hot is not None:
             hot.warm(self._cold_fetch)
 
@@ -184,25 +200,36 @@ class FeatureStore:
         return self._patched if self._patched is not None else self._base
 
     def _cold_fetch(self, ids: np.ndarray) -> np.ndarray:
-        self.cold_rows_read += int(ids.size)
+        """Internal fetch: fresh writable rows (the hot cache adopts
+        them as its own storage; ``gather`` freezes before hand-out)."""
+        with self._stats_lock:
+            self.cold_rows_read += int(ids.size)
         return self._backing()[ids]
 
     def gather(self, ids) -> np.ndarray:
         """One feature row per id (a fresh array, request order kept) —
-        bit-identical to ``features[ids]`` on the resident matrix."""
+        bit-identical to ``features[ids]`` on the resident matrix.
+        Mmap-tier batches come back read-only, matching the CSR arrays
+        and the result cache's hand-out contract; route writes through
+        :meth:`update_rows`."""
         ids = np.asarray(ids, dtype=INDEX_DTYPE)
-        if self.tier == "resident" or self.hot is None:
+        if self.tier == "resident":
             return self._cold_fetch(ids)
+        if self.hot is None:
+            return _frozen_rows(self._cold_fetch(ids))
         return self.hot.gather(ids, self._cold_fetch)
 
     def matrix(self) -> np.ndarray:
         """The whole matrix for full-scan consumers (precompute, full-
-        batch training).  Resident: the wrapped array itself.  Mmap: the
-        read-only zero-copy map, or the private patched copy once an
-        update has landed."""
+        batch training).  Resident: the wrapped array itself (writable,
+        the drop-in contract).  Mmap: the read-only zero-copy map, or a
+        read-only view of the private patched copy once an update has
+        landed — either way consumers cannot scribble on served rows."""
         if self.tier == "resident":
             return self._base
-        return self._backing()
+        if self._patched is not None:
+            return _frozen_view(self._patched)
+        return self._base
 
     # -- writes -----------------------------------------------------------------
 
@@ -219,20 +246,29 @@ class FeatureStore:
         self._backing()[ids] = rows
         if self.hot is not None:
             self.hot.update_rows(ids, rows)
-        self.num_updates += 1
+        with self._stats_lock:
+            self.num_updates += 1
 
     # -- introspection ----------------------------------------------------------
 
     def stats(self) -> dict:
-        """JSON-safe gauges: tier, hot rows, hit rate, bytes mapped."""
+        """JSON-safe gauges: tier, hot rows, hit rate, bytes mapped.
+
+        Reads the store's own counters under ``_stats_lock``, then asks
+        the hot cache *outside* it — ``hot.gather`` already calls back
+        into ``_cold_fetch`` while holding the cache lock, so nesting
+        the other way here would close a lock-order cycle."""
+        with self._stats_lock:
+            cold_rows_read = self.cold_rows_read
+            num_updates = self.num_updates
         out = {
             "tier": self.tier,
             "num_rows": self.num_rows,
             "dim": self.dim,
             "dtype": str(np.dtype(self.dtype)),
             "bytes_mapped": self.bytes_mapped,
-            "cold_rows_read": self.cold_rows_read,
-            "num_updates": self.num_updates,
+            "cold_rows_read": cold_rows_read,
+            "num_updates": num_updates,
             "patched": self._patched is not None,
             "hot_rows": self.hot.hot_rows if self.hot is not None else 0,
             "hit_rate": self.hot.hit_rate if self.hot is not None else None,

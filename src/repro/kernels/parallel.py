@@ -42,12 +42,12 @@ pick from the simulated static imbalance of this graph's degree skew.
 from __future__ import annotations
 
 import os
-import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitizers import make_lock
 from repro.graph.csr import CSRGraph
 from repro.kernels.baseline import _feature_dim, _feature_dtype
 from repro.kernels.operators import (
@@ -72,7 +72,7 @@ SCHEDULES = ("static", "dynamic", "balanced")
 # One lazily-created executor per thread count, shared across calls so a
 # training loop doesn't pay thread spawn cost every aggregation.
 _POOLS: dict = {}
-_POOL_LOCK = threading.Lock()
+_POOL_LOCK = make_lock("kernels.parallel.pool")
 
 
 def _get_pool(num_threads: int) -> ThreadPoolExecutor:
@@ -91,7 +91,7 @@ def _reset_pools_after_fork() -> None:
     # but not the parent's worker threads; drop the stale executors (and
     # the possibly-held lock) so the child lazily builds fresh ones.
     global _POOL_LOCK
-    _POOL_LOCK = threading.Lock()
+    _POOL_LOCK = make_lock("kernels.parallel.pool")
     _POOLS.clear()
 
 

@@ -23,6 +23,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.analysis.sanitizers import make_lock
 from repro.graph.csr import INDEX_DTYPE
 
 _SENTINEL = object()
@@ -62,12 +63,12 @@ class MicroBatcher:
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_ms) / 1000.0
         self._queue: "queue.Queue" = queue.Queue()
-        self._lock = threading.Lock()
-        self._closed = False
-        self.num_requests = 0
-        self.num_batches = 0
-        self.vertices_submitted = 0
-        self.vertices_computed = 0
+        self._lock = make_lock("serving.batcher")
+        self._closed = False  # guarded-by: _lock
+        self.num_requests = 0  # guarded-by: _lock
+        self.num_batches = 0  # guarded-by: _lock
+        self.vertices_submitted = 0  # guarded-by: _lock
+        self.vertices_computed = 0  # guarded-by: _lock
         self._worker = threading.Thread(
             target=self._loop, name="repro-microbatcher", daemon=True
         )
@@ -150,7 +151,8 @@ class MicroBatcher:
         uniq, inverse = np.unique(all_ids, return_inverse=True)
         try:
             rows = np.asarray(self.compute(uniq))
-        except Exception as exc:  # propagate to every waiting caller
+        # audit[broad-except]: propagated to every waiting caller's future
+        except Exception as exc:
             for r in batch:
                 r.future.set_exception(exc)
             return

@@ -10,12 +10,12 @@ HTTP server handles requests on multiple threads.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitizers import make_lock
 from repro.graph.csr import INDEX_DTYPE
 
 
@@ -35,14 +35,14 @@ class ResultCache:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = int(capacity)
-        self._rows: "OrderedDict[int, np.ndarray]" = OrderedDict()
-        self._lock = threading.Lock()
+        self._rows: "OrderedDict[int, np.ndarray]" = OrderedDict()  # guarded-by: _lock
+        self._lock = make_lock("serving.cache")
         #: conservation invariant (checked under contention by the
         #: serving stress suite): ``hits + misses == lookups`` always —
         #: all three move inside one critical section per access.
-        self.lookups = 0
-        self.hits = 0
-        self.misses = 0
+        self.lookups = 0  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
 
     def __len__(self) -> int:
         with self._lock:
@@ -72,7 +72,7 @@ class ResultCache:
         with self._lock:
             self._put_locked(int(vertex_id), row)
 
-    def _put_locked(self, key: int, row: np.ndarray) -> None:
+    def _put_locked(self, key: int, row: np.ndarray) -> None:  # requires-lock: _lock
         rows = self._rows
         if key in rows:
             rows.move_to_end(key)

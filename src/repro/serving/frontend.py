@@ -38,6 +38,7 @@ from typing import Callable, Dict, Optional
 
 import queue
 
+from repro.analysis.sanitizers import make_lock
 from repro.serving.metrics import ServingMetrics
 
 
@@ -136,13 +137,13 @@ class ServingFrontend:
         self.metrics = metrics if metrics is not None else ServingMetrics()
 
         self._queue: "queue.Queue" = queue.Queue()
-        self._lock = threading.Lock()
-        self._idle = threading.Condition(self._lock)
-        self._depth = 0       # admitted, waiting for a worker
-        self._in_flight = 0   # executing on a worker
-        self._draining = False
-        self._closed = False
-        self._drain_serial = threading.Lock()  # one drain at a time
+        self._lock = make_lock("serving.frontend")
+        self._idle = threading.Condition(self._lock)  # alias-of: _lock
+        self._depth = 0       # guarded-by: _lock — admitted, waiting for a worker
+        self._in_flight = 0   # guarded-by: _lock — executing on a worker
+        self._draining = False  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
+        self._drain_serial = make_lock("serving.frontend.drain")  # one drain at a time
         self._workers = [
             threading.Thread(
                 target=self._worker_loop, name=f"repro-serve-worker-{i}", daemon=True
@@ -223,6 +224,7 @@ class ServingFrontend:
         except (ValueError, OverflowError):
             self.metrics.record(endpoint, "bad_request")
             raise
+        # audit[broad-except]: counted in the 'error' bucket, then re-raised
         except Exception:
             self.metrics.record(endpoint, "error")
             raise
@@ -243,7 +245,8 @@ class ServingFrontend:
                 self._in_flight += 1
             try:
                 result = item.fn()
-            except BaseException as exc:  # noqa: BLE001 — delivered to the caller
+            # audit[broad-except]: delivered to the caller via the future
+            except BaseException as exc:  # noqa: BLE001
                 item.future.set_exception(exc)
             else:
                 item.future.set_result(result)
@@ -293,6 +296,7 @@ class ServingFrontend:
         except (ValueError, OverflowError):
             self.metrics.record("update_edges", "bad_request")
             raise
+        # audit[broad-except]: counted in the 'error' bucket, then re-raised
         except Exception:
             self.metrics.record("update_edges", "error")
             raise
@@ -308,6 +312,7 @@ class ServingFrontend:
         except (ValueError, OverflowError):
             self.metrics.record("update_features", "bad_request")
             raise
+        # audit[broad-except]: counted in the 'error' bucket, then re-raised
         except Exception:
             self.metrics.record("update_features", "error")
             raise

@@ -17,18 +17,19 @@ never read through the gated path.
 
 from __future__ import annotations
 
-import threading
 from contextlib import contextmanager
+
+from repro.analysis.sanitizers import make_condition
 
 
 class ReadWriteGate:
     """Many concurrent readers, exclusive writers, writer-preferred."""
 
     def __init__(self):
-        self._cond = threading.Condition()
-        self._active_readers = 0
-        self._writer_active = False
-        self._writers_waiting = 0
+        self._cond = make_condition("serving.gate")
+        self._active_readers = 0  # guarded-by: _cond
+        self._writer_active = False  # guarded-by: _cond
+        self._writers_waiting = 0  # guarded-by: _cond
 
     @contextmanager
     def read(self):

@@ -41,6 +41,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.sanitizers import make_lock
+
 from repro.serving.frontend import ServingUnavailable
 from repro.serving.metrics import OUTCOMES, percentiles_ms
 
@@ -206,8 +208,8 @@ class VirtualClock:
     """
 
     def __init__(self, start: float = 0.0):
-        self._now = float(start)
-        self._lock = threading.Lock()
+        self._now = float(start)  # guarded-by: _lock
+        self._lock = make_lock("loadgen.clock")
 
     def time(self) -> float:
         with self._lock:
@@ -304,7 +306,8 @@ def classify_exception(exc: BaseException) -> str:
             body = ""
             try:
                 body = exc.read().decode("utf-8", "replace")
-            except Exception:  # pragma: no cover - already an error path
+            # audit[broad-except]: best-effort body read on an error path
+            except Exception:  # pragma: no cover
                 pass
             return "rejected_draining" if "draining" in body else "timeout"
         if exc.code == 400:
@@ -416,14 +419,15 @@ def run_open_loop(
     schedule = sorted(schedule, key=lambda r: r.t)
     horizon = schedule[-1].t if schedule else 0.0
     records: List[RequestRecord] = []
-    records_lock = threading.Lock()
+    records_lock = make_lock("loadgen.records")
     start = clock.time()
 
     def fire(req: ScheduledRequest) -> None:
         t_call = clock.time()
         try:
             target(req)
-        except Exception as exc:  # noqa: BLE001 — classified, never fatal
+        # audit[broad-except]: classified into an outcome bucket, never fatal
+        except Exception as exc:  # noqa: BLE001
             outcome = classify_exception(exc)
         else:
             outcome = "ok"

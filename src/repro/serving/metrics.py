@@ -16,11 +16,12 @@ All counters share one lock, so a snapshot is internally consistent:
 
 from __future__ import annotations
 
-import threading
 from collections import deque
 from typing import Dict, Optional
 
 import numpy as np
+
+from repro.analysis.sanitizers import make_lock
 
 #: every request lands in exactly one outcome bucket.
 OUTCOMES = (
@@ -62,11 +63,11 @@ class ServingMetrics:
         if window < 1:
             raise ValueError("window must be >= 1")
         self.window = int(window)
-        self._lock = threading.Lock()
-        self._endpoints: Dict[str, _EndpointMetrics] = {}
-        self.num_drains = 0
+        self._lock = make_lock("serving.metrics")
+        self._endpoints: Dict[str, _EndpointMetrics] = {}  # guarded-by: _lock
+        self.num_drains = 0  # guarded-by: _lock
 
-    def _endpoint(self, name: str) -> _EndpointMetrics:
+    def _endpoint(self, name: str) -> _EndpointMetrics:  # requires-lock: _lock
         ep = self._endpoints.get(name)
         if ep is None:
             ep = self._endpoints[name] = _EndpointMetrics(self.window)

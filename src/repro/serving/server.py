@@ -45,6 +45,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitizers import make_lock
 from repro.graph.csr import INDEX_DTYPE
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import ResultCache
@@ -136,8 +137,10 @@ class PredictionService:
             if batch
             else None
         )
-        self.num_requests = 0
-        self._count_lock = threading.Lock()
+        self.num_requests = 0  # guarded-by: _count_lock
+        self._count_lock = make_lock("serving.service.count")
+        # Written only under the gate's read side; concurrent readers may
+        # both observe a version bump and reset the cache — idempotent.
         self._cached_version = engine.version
         # readers share; topology/feature updates take the write side
         # and therefore wait out in-flight lookups before rewriting
@@ -247,7 +250,9 @@ class PredictionService:
     # -- lifecycle / introspection ------------------------------------------------------
 
     def stats(self) -> dict:
-        out = {"requests": self.num_requests, "engine": self.engine.stats()}
+        with self._count_lock:
+            num_requests = self.num_requests
+        out = {"requests": num_requests, "engine": self.engine.stats()}
         out["cache"] = self.cache.stats() if self.cache is not None else None
         out["batcher"] = self.batcher.stats() if self.batcher is not None else None
         out["refresher"] = (
@@ -347,7 +352,8 @@ class _PredictionHandler(BaseHTTPRequestHandler):
             # malformed body / ids / k / pairs (OverflowError: an id too
             # large for the index dtype is out-of-range, not a 500)
             self._reply(400, {"error": f"bad request: {exc}"})
-        except Exception as exc:  # noqa: BLE001 — JSON 500, never a traceback page
+        # audit[broad-except]: answered as a JSON 500, never a traceback page
+        except Exception as exc:  # noqa: BLE001
             self._reply(
                 500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
             )

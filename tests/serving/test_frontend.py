@@ -268,3 +268,44 @@ def test_gate_readers_share_writers_exclude():
     join_all([r, w, lr])
     assert write_done.is_set() and late.is_set()
     assert gate.active_readers == 0 and not gate.writer_active
+
+
+# -- exception classification through the worker pool -------------------------
+
+
+def test_cancellation_exceptions_propagate_uncounted(frontend):
+    """The pool's broad handlers are classified, not absorbent: a
+    ``BaseException``-derived cancellation raised by the request body
+    must reach the caller intact (the worker's ``except BaseException``
+    only re-routes it through the future; ``call``'s ``except
+    Exception`` error bucket must not see it)."""
+    from asyncio import CancelledError  # BaseException-derived since 3.8
+
+    def cancelled():
+        raise CancelledError("torn down mid-request")
+
+    with pytest.raises(CancelledError, match="torn down mid-request"):
+        frontend.call("predict", cancelled)
+
+    class Teardown(BaseException):
+        pass
+
+    with pytest.raises(Teardown):
+        frontend.call("predict", lambda: (_ for _ in ()).throw(Teardown()))
+
+    # Neither cancellation landed in the error bucket, and the pool is
+    # still alive — a plain request afterwards succeeds.
+    assert frontend.call("predict", lambda: "ok") == "ok"
+    snap = frontend.metrics_snapshot()
+    assert snap["endpoints"]["predict"].get("error", 0) == 0
+    assert snap["endpoints"]["predict"]["ok"] == 1
+
+
+def test_plain_errors_are_counted_then_reraised(frontend):
+    class Boom(RuntimeError):
+        pass
+
+    with pytest.raises(Boom):
+        frontend.call("predict", lambda: (_ for _ in ()).throw(Boom()))
+    snap = frontend.metrics_snapshot()
+    assert snap["endpoints"]["predict"]["error"] == 1

@@ -30,6 +30,7 @@ def test_readme_quickstart_flow():
 
 
 def test_all_subpackages_import():
+    import repro.analysis
     import repro.cachesim
     import repro.comm
     import repro.core
@@ -44,6 +45,7 @@ def test_all_subpackages_import():
     import repro.serving
 
     for pkg in (
+        repro.analysis,
         repro.graph,
         repro.dyngraph,
         repro.featurestore,
