@@ -21,6 +21,10 @@ Three series (schema v2):
   capacity while a background ingester applies a continuous stream of
   edge updates (each one a graceful drain + incremental refresh):
   the cost of mutation-while-serving in latency and shed requests.
+- ``latency_decomposition`` — a fully-traced run at half capacity:
+  per-endpoint mean queue / gate / batch / compute / feature component
+  latencies cross-checked against the end-to-end mean (attributed sum
+  and unattributed slack), from :mod:`repro.obs.trace`.
 
 Usage::
 
@@ -155,7 +159,7 @@ def _make_engine(args):
 # -- open-loop series (schema v2) -------------------------------------------------
 
 
-def _fresh_frontend(engine, args) -> ServingFrontend:
+def _fresh_frontend(engine, args, tracer=None) -> ServingFrontend:
     """The production composition behind one rate point: cache +
     micro-batcher + incremental refresher + bounded frontend."""
     service = PredictionService(
@@ -171,6 +175,7 @@ def _fresh_frontend(engine, args) -> ServingFrontend:
         num_workers=args.workers,
         max_queue=args.max_queue,
         default_timeout_s=args.request_timeout,
+        tracer=tracer,
     )
 
 
@@ -251,8 +256,11 @@ def _run_offered_point(engine, args, arrival: str, rate: float,
         "errors": s["errors"],
         "reject_rate": s["reject_rate"],
         "timeout_rate": s["timeout_rate"],
-        "p50_ms": s["p50_ms"],
-        "p99_ms": s["p99_ms"],
+        # quantile keys are omitted from the summary when nothing was
+        # served (e.g. a fully-saturated point); keep the row schema
+        # stable with an explicit 0.0
+        "p50_ms": s.get("p50_ms", 0.0),
+        "p99_ms": s.get("p99_ms", 0.0),
     }
 
 
@@ -303,13 +311,53 @@ def _run_ingest_while_serving(engine, args, rate: float,
         "offered": s["offered"],
         "achieved_rps": s["achieved_rps"],
         "reject_rate": s["reject_rate"],
-        "p50_ms": s["p50_ms"],
-        "p99_ms": s["p99_ms"],
+        "p50_ms": s.get("p50_ms", 0.0),
+        "p99_ms": s.get("p99_ms", 0.0),
         "updates_applied": updates_applied[0],
         "update_errors": update_errors[0],
         "update_p50_ms": update_ep.get("p50_ms", 0.0),
         "update_p99_ms": update_ep.get("p99_ms", 0.0),
         "num_drains": snap["num_drains"],
+    }
+
+
+def _run_decomposition(engine, args, rate: float, duration_s: float) -> dict:
+    """Fully-traced run at ``rate``: where does each endpoint's latency
+    go?  Returns per-endpoint component means plus the conservation
+    check (attributed component sum vs end-to-end mean)."""
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer(enabled=True, sample_rate=1.0, capacity=8192)
+    frontend = _fresh_frontend(engine, args, tracer=tracer)
+    try:
+        rng = np.random.default_rng(args.seed + 57)
+        arrivals = ARRIVALS["poisson"](rate, duration_s, rng)
+        schedule = build_schedule(
+            arrivals, engine.num_vertices, rng, mix=SWEEP_MIX, batch_size=8
+        )
+        run_open_loop(
+            FrontendTarget(frontend), schedule, num_clients=args.loadgen_clients
+        )
+    finally:
+        frontend.close()
+        frontend.service.close()
+    endpoints = {}
+    for name, dec in tracer.decomposition().items():
+        endpoints[name] = {
+            "count": dec["count"],
+            "e2e_mean_ms": dec["e2e"]["mean_ms"],
+            "e2e_p99_ms": dec["e2e"]["p99_ms"],
+            "components_mean_ms": {
+                c: v["mean_ms"] for c, v in dec["components"].items()
+            },
+            "attributed_mean_ms": dec["component_sum_mean_ms"],
+            "unattributed_mean_ms": dec["unattributed_mean_ms"],
+        }
+    return {
+        "target_rps": rate,
+        "duration_s": duration_s,
+        "trace": tracer.stats(),
+        "endpoints": endpoints,
     }
 
 
@@ -419,6 +467,18 @@ def main(argv=None) -> int:
         engine, args, rate=0.5 * sweep_base_rps, duration_s=args.ingest_duration
     )
 
+    decomposition = _run_decomposition(
+        engine, args, rate=0.5 * sweep_base_rps,
+        duration_s=args.point_duration,
+    )
+    for name, ep in sorted(decomposition["endpoints"].items()):
+        parts = "  ".join(
+            f"{c} {v:.2f}" for c, v in sorted(ep["components_mean_ms"].items())
+        )
+        print(f"  decomp {name:<14s} e2e {ep['e2e_mean_ms']:6.2f} ms | "
+              f"{parts}  (attributed {ep['attributed_mean_ms']:.2f}, "
+              f"slack {ep['unattributed_mean_ms']:.2f})")
+
     payload = {
         "schema_version": SCHEMA_VERSION,
         "dataset": ds.name,
@@ -440,6 +500,7 @@ def main(argv=None) -> int:
         "sweep_base_rps": sweep_base_rps,
         "offered_load": offered_rows,
         "ingest_while_serving": ingest_row,
+        "latency_decomposition": decomposition,
     }
     path = emit_json("serving", payload)
     emit(

@@ -20,6 +20,13 @@ Commands
                a running server (``--url``) or an in-process service
                built from a checkpoint; reports offered vs achieved
                throughput, p50/p99 latency, and reject/timeout rates.
+``trace``      end-to-end request tracing: fetch the span buffer of a
+               running server (``--url`` -> ``GET /trace``) or drive a
+               traced in-process load run (``--checkpoint``); writes
+               Chrome trace-event JSON (loadable in Perfetto /
+               ``chrome://tracing``), optional JSONL, and prints the
+               per-endpoint latency decomposition (queue / gate / batch
+               / compute / feature vs end-to-end).
 ``check``      project-invariant static analysis: guarded-by discipline,
                blocking-under-lock, read-only hand-outs, classified
                broad excepts (REP101–REP104); text or ``--json`` report,
@@ -189,6 +196,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel worker threads for the in-process precompute",
     )
     _feature_store_args(p_load)
+
+    p_trace = sub.add_parser(
+        "trace", help="capture an end-to-end request trace (Chrome trace JSON)"
+    )
+    _dataset_args(p_trace)
+    trace_target = p_trace.add_mutually_exclusive_group(required=True)
+    trace_target.add_argument(
+        "--url", default=None, metavar="BASE",
+        help="fetch the span buffer of a running server via GET /trace",
+    )
+    trace_target.add_argument(
+        "--checkpoint", default=None,
+        help="drive a traced in-process load run from this checkpoint",
+    )
+    p_trace.add_argument("--rate", type=float, default=50.0, help="offered req/s")
+    p_trace.add_argument("--duration", type=float, default=5.0, help="seconds")
+    p_trace.add_argument(
+        "--arrival", choices=("poisson", "bursty"), default="poisson"
+    )
+    p_trace.add_argument(
+        "--mix", default=None, metavar="SPEC",
+        help="endpoint mix, e.g. predict=0.7,topk=0.25,update_edges=0.05",
+    )
+    p_trace.add_argument("--clients", type=int, default=32, help="client threads")
+    p_trace.add_argument("--batch-size", type=int, default=8,
+                         help="vertices per predict/topk request")
+    p_trace.add_argument("--k", type=int, default=3, help="top-k for topk requests")
+    p_trace.add_argument(
+        "--workers", type=int, default=4,
+        help="in-process frontend worker pool size (--checkpoint mode)",
+    )
+    p_trace.add_argument(
+        "--max-queue", type=int, default=256,
+        help="in-process admission queue bound (--checkpoint mode)",
+    )
+    p_trace.add_argument(
+        "--request-timeout", type=float, default=30.0,
+        help="per-request deadline in seconds",
+    )
+    p_trace.add_argument(
+        "--num-threads", type=int, default=None,
+        help="kernel worker threads for the in-process precompute",
+    )
+    p_trace.add_argument(
+        "--sample", type=float, default=1.0,
+        help="head-based root-span sampling rate in (0, 1]",
+    )
+    p_trace.add_argument(
+        "--buffer", type=int, default=4096,
+        help="span ring-buffer capacity (oldest spans overwritten)",
+    )
+    p_trace.add_argument(
+        "--out", default="trace.json",
+        help="Chrome trace-event JSON output path",
+    )
+    p_trace.add_argument(
+        "--jsonl", default=None, metavar="FILE",
+        help="also write one span record per line here",
+    )
+    _feature_store_args(p_trace)
 
     p_ing = sub.add_parser("ingest", help="streaming edge ingestion")
     _dataset_args(p_ing)
@@ -585,8 +652,9 @@ def cmd_loadgen(args) -> int:
     s = report.summary()
     print(f"offered       : {s['offered']} requests ({s['offered_rps']:.1f} req/s)")
     print(f"achieved      : {s['ok']} ok ({s['achieved_rps']:.1f} req/s)")
-    print(f"latency (ok)  : p50 {s['p50_ms']:.2f} ms  p99 {s['p99_ms']:.2f} ms  "
-          f"mean {s['mean_ms']:.2f} ms")
+    # quantile keys are omitted (not 0.0) when nothing was served
+    print(f"latency (ok)  : p50 {_fmt_ms(s, 'p50_ms')}  "
+          f"p99 {_fmt_ms(s, 'p99_ms')}  mean {s['mean_ms']:.2f} ms")
     print(f"rejected      : {s['rejected']} ({100 * s['reject_rate']:.1f}%)  "
           f"[queue_full {s['rejected_queue_full']}, "
           f"draining {s['rejected_draining']}]")
@@ -594,7 +662,102 @@ def cmd_loadgen(args) -> int:
           f"bad requests: {s['bad_request']}")
     for name, ep in sorted(s["per_endpoint"].items()):
         print(f"  {name:<16s} {ep['ok']:>6d} ok / {ep['requests']:>6d}  "
-              f"p50 {ep['p50_ms']:.2f} ms  p99 {ep['p99_ms']:.2f} ms")
+              f"p50 {_fmt_ms(ep, 'p50_ms')}  p99 {_fmt_ms(ep, 'p99_ms')}")
+    return 0
+
+
+def _fmt_ms(d: dict, key: str) -> str:
+    return f"{d[key]:.2f} ms" if key in d else "n/a"
+
+
+def cmd_trace(args) -> int:
+    import json
+
+    from repro.obs.trace import (
+        Tracer,
+        chrome_trace,
+        to_jsonl,
+        validate_chrome_trace,
+    )
+
+    if args.url:
+        from urllib.request import urlopen
+
+        base = args.url.rstrip("/")
+        with urlopen(f"{base}/trace", timeout=10.0) as resp:
+            payload = json.load(resp)
+        n = validate_chrome_trace(payload)
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh)
+        print(f"{n} trace event(s) from {base}/trace -> {args.out}")
+        return 0
+
+    from repro.serving import ServingFrontend
+    from repro.serving.loadgen import (
+        ARRIVALS,
+        FrontendTarget,
+        build_schedule,
+        run_open_loop,
+    )
+
+    try:
+        mix = _parse_mix(args.mix)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not 0.0 < args.sample <= 1.0:
+        print("error: --sample must be in (0, 1]", file=sys.stderr)
+        return 2
+    tracer = Tracer(enabled=True, sample_rate=args.sample, capacity=args.buffer)
+    rng = np.random.default_rng(args.seed)
+    arrivals = ARRIVALS[args.arrival](args.rate, args.duration, rng)
+    frontend = None
+    try:
+        _, service = _build_service(args)
+        frontend = ServingFrontend(
+            service,
+            num_workers=args.workers,
+            max_queue=args.max_queue,
+            default_timeout_s=args.request_timeout,
+            tracer=tracer,
+        )
+        schedule = build_schedule(
+            arrivals, service.engine.num_vertices, rng, mix=mix,
+            batch_size=args.batch_size, k=args.k,
+        )
+        print(f"tracing {len(schedule)} {args.arrival} requests over "
+              f"{args.duration:g}s (sample rate {args.sample:g})")
+        report = run_open_loop(
+            FrontendTarget(frontend), schedule, num_clients=args.clients
+        )
+    finally:
+        if frontend is not None:
+            frontend.close()
+            frontend.service.close()
+
+    spans = tracer.export()
+    payload = chrome_trace(spans)
+    n = validate_chrome_trace(payload)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh)
+    st = tracer.stats()
+    s = report.summary()
+    print(f"requests      : {s['ok']} ok / {s['offered']} offered")
+    print(f"trace         : {n} event(s) -> {args.out}  "
+          f"(sampled {st['sampled']}/{st['seen']} roots, "
+          f"dropped {st['dropped']})")
+    if args.jsonl:
+        with open(args.jsonl, "w") as fh:
+            fh.write(to_jsonl(spans))
+        print(f"jsonl         : {args.jsonl}")
+    for name, dec in sorted(tracer.decomposition().items()):
+        parts = "  ".join(
+            f"{c} {v['mean_ms']:.2f}"
+            for c, v in sorted(dec["components"].items())
+        )
+        print(f"  {name:<16s} e2e {dec['e2e']['mean_ms']:.2f} ms | "
+              f"{parts}  [attributed {dec['component_sum_mean_ms']:.2f}, "
+              f"slack {dec['unattributed_mean_ms']:.2f}]")
     return 0
 
 
@@ -764,6 +927,7 @@ COMMANDS = {
     "serve": cmd_serve,
     "ingest": cmd_ingest,
     "loadgen": cmd_loadgen,
+    "trace": cmd_trace,
     "check": cmd_check,
 }
 

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.comm.async_queue import DelayedQueue, Message
 from repro.comm.counters import CommCounters
+from repro.obs.registry import register_comm_world
 
 
 class World:
@@ -31,6 +32,10 @@ class World:
         self.counters = CommCounters(num_ranks)
         self.queue = DelayedQueue(num_ranks)
         self._epoch = 0
+        # weakref registration: per-rank byte counters show up in every
+        # telemetry registry / GET /metrics?format=prom for as long as
+        # this world is alive
+        self.obs_name = register_comm_world(self, kind="sim")
 
     # -- epoch clock ---------------------------------------------------------
 

@@ -25,6 +25,7 @@ consistent with NumPy fancy-assignment semantics on a resident matrix.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
@@ -38,6 +39,7 @@ from repro.featurestore.hotset import (
 )
 from repro.featurestore.storage import open_feature_layout, write_feature_layout
 from repro.graph.csr import INDEX_DTYPE
+from repro.obs.trace import current_span
 
 TIERS = ("resident", "mmap")
 
@@ -211,13 +213,39 @@ class FeatureStore:
         bit-identical to ``features[ids]`` on the resident matrix.
         Mmap-tier batches come back read-only, matching the CSR arrays
         and the result cache's hand-out contract; route writes through
-        :meth:`update_rows`."""
+        :meth:`update_rows`.
+
+        When the calling thread carries an active trace span, the
+        gather records a ``feature.gather`` child span with the hot-hit
+        vs cold-read split and charges its wall time to the request's
+        ``feature`` latency component; untraced calls take one ``None``
+        check extra."""
         ids = np.asarray(ids, dtype=INDEX_DTYPE)
+        span = current_span()
+        fetch = self._cold_fetch
+        if span is not None:
+            t0 = time.perf_counter()
+            cold = [0]
+
+            def fetch(miss, _inner=self._cold_fetch):
+                cold[0] += int(miss.size)
+                return _inner(miss)
+
         if self.tier == "resident":
-            return self._cold_fetch(ids)
-        if self.hot is None:
-            return _frozen_rows(self._cold_fetch(ids))
-        return self.hot.gather(ids, self._cold_fetch)
+            rows = fetch(ids)
+        elif self.hot is None:
+            rows = _frozen_rows(fetch(ids))
+        else:
+            rows = self.hot.gather(ids, fetch)
+        if span is not None:
+            elapsed = time.perf_counter() - t0
+            span.add_component("feature", elapsed)
+            span.child_complete(
+                "feature.gather", elapsed, cat="featurestore",
+                rows=int(ids.size), cold_rows=cold[0],
+                hot_rows=int(ids.size) - cold[0],
+            )
+        return rows
 
     def matrix(self) -> np.ndarray:
         """The whole matrix for full-scan consumers (precompute, full-

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.analysis.sanitizers import make_lock
 from repro.graph.csr import INDEX_DTYPE
+from repro.obs.trace import activate
 
 _SENTINEL = object()
 
@@ -33,6 +34,12 @@ _SENTINEL = object()
 class _Request:
     ids: np.ndarray
     future: Future
+    #: trace context carried *explicitly* across the pool boundary (the
+    #: batcher worker is a different thread; thread-locals do not cross).
+    ctx: Optional[object] = None
+    #: submit instant, for the per-request ``batch`` (coalesce-wait)
+    #: latency component.
+    t_submit: float = 0.0
 
 
 class MicroBatcher:
@@ -76,8 +83,13 @@ class MicroBatcher:
 
     # -- client side ----------------------------------------------------------------
 
-    def submit(self, vertex_ids) -> Future:
-        """Enqueue a lookup; the Future resolves to one row per id."""
+    def submit(self, vertex_ids, ctx=None) -> Future:
+        """Enqueue a lookup; the Future resolves to one row per id.
+
+        ``ctx`` (an :class:`~repro.obs.trace.Span` or ``None``) rides on
+        the request so the worker can attribute coalesce-wait and
+        compute time back to the originating request's trace.
+        """
         ids = np.atleast_1d(np.asarray(vertex_ids, dtype=INDEX_DTYPE))
         fut: Future = Future()
         with self._lock:
@@ -85,12 +97,14 @@ class MicroBatcher:
                 raise RuntimeError("MicroBatcher is closed")
             self.num_requests += 1
             self.vertices_submitted += ids.size
-        self._queue.put(_Request(ids=ids, future=fut))
+        self._queue.put(
+            _Request(ids=ids, future=fut, ctx=ctx, t_submit=time.perf_counter())
+        )
         return fut
 
-    def predict(self, vertex_ids, timeout: Optional[float] = 30.0) -> np.ndarray:
+    def predict(self, vertex_ids, timeout: Optional[float] = 30.0, ctx=None) -> np.ndarray:
         """Synchronous convenience wrapper around :meth:`submit`."""
-        return self.submit(vertex_ids).result(timeout=timeout)
+        return self.submit(vertex_ids, ctx=ctx).result(timeout=timeout)
 
     def pending(self) -> int:
         """Requests queued but not yet picked into a batch (a queue-depth
@@ -149,13 +163,38 @@ class MicroBatcher:
     def _execute(self, batch: List[_Request]) -> None:
         all_ids = np.concatenate([r.ids for r in batch])
         uniq, inverse = np.unique(all_ids, return_inverse=True)
+        # one rider's ctx is *activated* during compute so deep sites
+        # (feature gather, kernel timers) nest under a real request;
+        # every rider still gets its batch/compute components below.
+        lead = next((r.ctx for r in batch if r.ctx is not None), None)
+        t_compute = time.perf_counter()
+        for r in batch:
+            if r.ctx is not None:
+                r.ctx.add_component("batch", t_compute - r.t_submit)
+        feature_before = lead.component_seconds("feature") if lead is not None else 0.0
         try:
-            rows = np.asarray(self.compute(uniq))
+            with activate(lead):
+                rows = np.asarray(self.compute(uniq))
         # audit[broad-except]: propagated to every waiting caller's future
         except Exception as exc:
             for r in batch:
                 r.future.set_exception(exc)
             return
+        compute_s = time.perf_counter() - t_compute
+        if lead is not None:
+            # the lead's feature-gather seconds were recorded *inside*
+            # this compute interval; subtract so components stay
+            # non-overlapping (sum ≤ end-to-end is a pinned invariant)
+            feature_during = lead.component_seconds("feature") - feature_before
+            lead.add_component("compute", max(0.0, compute_s - feature_during))
+            lead.child_complete(
+                "batch.flush", compute_s, cat="serving",
+                batch_requests=len(batch), submitted=int(all_ids.size),
+                unique=int(uniq.size),
+            )
+        for r in batch:
+            if r.ctx is not None and r.ctx is not lead:
+                r.ctx.add_component("compute", compute_s)
         with self._lock:
             self.num_batches += 1
             self.vertices_computed += uniq.size

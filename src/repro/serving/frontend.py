@@ -39,6 +39,7 @@ from typing import Callable, Dict, Optional
 import queue
 
 from repro.analysis.sanitizers import make_lock
+from repro.obs.trace import Span, Tracer, activate, get_tracer
 from repro.serving.metrics import ServingMetrics
 
 
@@ -84,6 +85,11 @@ class _WorkItem:
     endpoint: str
     fn: Callable[[], object]
     future: Future = field(default_factory=Future)
+    #: trace context, carried explicitly across the pool boundary — the
+    #: worker thread activates it; thread-locals never cross the pool.
+    ctx: Optional[Span] = None
+    #: admission instant, for the ``queue`` latency component.
+    t_admit: float = 0.0
 
 
 class ServingFrontend:
@@ -120,6 +126,7 @@ class ServingFrontend:
         retry_after_s: float = 0.05,
         drain_timeout_s: float = 30.0,
         metrics: Optional[ServingMetrics] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -135,6 +142,9 @@ class ServingFrontend:
         self.retry_after_s = float(retry_after_s)
         self.drain_timeout_s = float(drain_timeout_s)
         self.metrics = metrics if metrics is not None else ServingMetrics()
+        # disabled by default (REPRO_TRACE unset): every root() is None
+        # and the request path pays one branch
+        self.tracer = tracer if tracer is not None else get_tracer()
 
         self._queue: "queue.Queue" = queue.Queue()
         self._lock = make_lock("serving.frontend")
@@ -175,8 +185,12 @@ class ServingFrontend:
 
     # -- request path -------------------------------------------------------------
 
-    def _admit(self, endpoint: str, fn: Callable[[], object]) -> _WorkItem:
-        item = _WorkItem(endpoint=endpoint, fn=fn)
+    def _admit(
+        self, endpoint: str, fn: Callable[[], object], ctx: Optional[Span] = None
+    ) -> _WorkItem:
+        item = _WorkItem(
+            endpoint=endpoint, fn=fn, ctx=ctx, t_admit=time.perf_counter()
+        )
         with self._lock:
             if self._closed:
                 raise RuntimeError("ServingFrontend is closed")
@@ -201,34 +215,54 @@ class ServingFrontend:
         Returns ``fn()``'s result, or raises: :class:`RequestRejected` /
         :class:`ServiceDraining` / :class:`RequestTimeout` on shedding,
         or whatever ``fn`` raised (``ValueError`` stays a 400 upstream).
-        Every path records exactly one metrics outcome.
+        Every path records exactly one metrics outcome, and — when
+        tracing samples the request — closes exactly one root span with
+        that same outcome (shed requests get a root span too: a trace of
+        a saturated server must show what was rejected, not just what
+        ran).
         """
         timeout = self.timeout_for(endpoint) if timeout_s is None else float(timeout_s)
         t0 = time.perf_counter()
+        # the root is opened before admission so a 429/503 still traces
+        span = self.tracer.root(endpoint)
         try:
-            item = self._admit(endpoint, fn)
+            item = self._admit(endpoint, fn, ctx=span)
         except ServingUnavailable as exc:
             self.metrics.record(endpoint, exc.outcome)
+            if span is not None:
+                span.end(exc.outcome)
             raise
         try:
             result = item.future.result(timeout=timeout)
         except FutureTimeout:
             # still queued -> cancel so it never executes; already
-            # running -> the worker finishes in the background
+            # running -> the worker finishes in the background (its late
+            # component writes are ignored by the already-ended span)
             item.future.cancel()
             self.metrics.record(endpoint, "timeout")
+            if span is not None:
+                span.end("timeout")
             raise RequestTimeout(
                 f"{endpoint}: timed out after {timeout:g}s",
                 retry_after_s=self.retry_after_s,
             ) from None
         except (ValueError, OverflowError):
             self.metrics.record(endpoint, "bad_request")
+            if span is not None:
+                span.end("bad_request")
             raise
         # audit[broad-except]: counted in the 'error' bucket, then re-raised
         except Exception:
             self.metrics.record(endpoint, "error")
+            if span is not None:
+                span.end("error")
             raise
-        self.metrics.record(endpoint, "ok", latency_s=time.perf_counter() - t0)
+        e2e_s = time.perf_counter() - t0
+        self.metrics.record(endpoint, "ok", latency_s=e2e_s)
+        if span is not None:
+            # same wall time the metrics recorded: the decomposition
+            # cross-check compares components against exactly this e2e
+            span.end("ok", e2e_s=e2e_s)
         return result
 
     def _worker_loop(self) -> None:
@@ -243,8 +277,15 @@ class ServingFrontend:
                     self._idle.notify_all()
                     continue
                 self._in_flight += 1
+            if item.ctx is not None:
+                # queue component: admission -> worker pickup
+                item.ctx.add_component("queue", time.perf_counter() - item.t_admit)
             try:
-                result = item.fn()
+                # the carried ctx becomes this thread's current span for
+                # the duration of the call (activate(None) clears any
+                # leftover from a previously traced request)
+                with activate(item.ctx):
+                    result = item.fn()
             # audit[broad-except]: delivered to the caller via the future
             except BaseException as exc:  # noqa: BLE001
                 item.future.set_exception(exc)
@@ -286,38 +327,49 @@ class ServingFrontend:
                 with self._lock:
                     self._draining = False
 
+    def _traced_update(self, endpoint: str, body: Callable[[], object]):
+        """Shared drain/metrics/tracing wrapper for the update paths:
+        one outcome, one (optional) root span with the quiesce time in a
+        ``drain`` component."""
+        t0 = time.perf_counter()
+        span = self.tracer.root(endpoint)
+        try:
+            with self.drained():
+                if span is not None:
+                    span.add_component("drain", time.perf_counter() - t0)
+                with activate(span):
+                    stats = body()
+        except (ValueError, OverflowError):
+            self.metrics.record(endpoint, "bad_request")
+            if span is not None:
+                span.end("bad_request")
+            raise
+        # audit[broad-except]: counted in the 'error' bucket, then re-raised
+        except Exception:
+            self.metrics.record(endpoint, "error")
+            if span is not None:
+                span.end("error")
+            raise
+        e2e_s = time.perf_counter() - t0
+        self.metrics.record(endpoint, "ok", latency_s=e2e_s)
+        if span is not None:
+            span.end("ok", e2e_s=e2e_s)
+        return stats
+
     def update_edges(self, add=None, remove=None):
         """Drain, apply the topology update, resume.  The quiesce means
         the refresher's in-place table rewrite never races a reader."""
-        t0 = time.perf_counter()
-        try:
-            with self.drained():
-                stats = self.service.update_edges(add=add, remove=remove)
-        except (ValueError, OverflowError):
-            self.metrics.record("update_edges", "bad_request")
-            raise
-        # audit[broad-except]: counted in the 'error' bucket, then re-raised
-        except Exception:
-            self.metrics.record("update_edges", "error")
-            raise
-        self.metrics.record("update_edges", "ok", latency_s=time.perf_counter() - t0)
-        return stats
+        return self._traced_update(
+            "update_edges",
+            lambda: self.service.update_edges(add=add, remove=remove),
+        )
 
     def update_features(self, vertex_ids, new_rows):
         """Drain, apply the feature update, resume."""
-        t0 = time.perf_counter()
-        try:
-            with self.drained():
-                stats = self.service.update_features(vertex_ids, new_rows)
-        except (ValueError, OverflowError):
-            self.metrics.record("update_features", "bad_request")
-            raise
-        # audit[broad-except]: counted in the 'error' bucket, then re-raised
-        except Exception:
-            self.metrics.record("update_features", "error")
-            raise
-        self.metrics.record("update_features", "ok", latency_s=time.perf_counter() - t0)
-        return stats
+        return self._traced_update(
+            "update_features",
+            lambda: self.service.update_features(vertex_ids, new_rows),
+        )
 
     # -- introspection / lifecycle ------------------------------------------------
 

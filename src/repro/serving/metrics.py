@@ -37,10 +37,16 @@ OUTCOMES = (
 def percentiles_ms(latencies_s, qs=(50.0, 99.0)) -> Dict[str, float]:
     """``{"p50_ms": ..., "p99_ms": ...}`` via linear interpolation — the
     same estimator the load harness uses, so the two sides of the
-    metrics cross-check cannot disagree on method."""
+    metrics cross-check cannot disagree on method.
+
+    An empty window returns ``{}`` (the keys are *omitted*): reporting
+    ``0.0`` made "no served requests yet" indistinguishable from a real
+    0 ms quantile, which is exactly the wrong signal while the system is
+    shedding everything.  Consumers read via ``.get``.
+    """
     lat = np.asarray(list(latencies_s), dtype=np.float64)
     if lat.size == 0:
-        return {f"p{q:g}_ms": 0.0 for q in qs}
+        return {}
     lat = lat * 1e3
     return {f"p{q:g}_ms": float(np.percentile(lat, q)) for q in qs}
 

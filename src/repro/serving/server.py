@@ -16,6 +16,10 @@ control (bounded queue, per-endpoint deadlines, graceful drain):
 - ``GET /stats``             engine / cache / batcher / refresher counters
 - ``GET /metrics``           request-path metrics: per-endpoint outcome
   counters and p50/p99, queue depth, in-flight count, cache hit rate
+  (JSON); ``?format=prom`` renders the unified telemetry registry as
+  Prometheus text exposition instead
+- ``GET /trace``             buffered request spans as Chrome
+  trace-event JSON (Perfetto-loadable; ``REPRO_TRACE=1`` to record)
 - ``GET /healthz``           liveness; flips to ``draining`` (503)
   while an update quiesces the pool
 
@@ -40,13 +44,17 @@ from __future__ import annotations
 import json
 import math
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
+from urllib.parse import parse_qs
 
 import numpy as np
 
 from repro.analysis.sanitizers import make_lock
 from repro.graph.csr import INDEX_DTYPE
+from repro.obs.registry import render_prometheus, serving_registry
+from repro.obs.trace import chrome_trace, current_span
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import ResultCache
 from repro.serving.engine import InferenceEngine, topk_rows
@@ -160,9 +168,25 @@ class PredictionService:
     # -- request path ----------------------------------------------------------------
 
     def _compute(self, ids: np.ndarray) -> np.ndarray:
+        span = current_span()
         if self.batcher is not None:
-            return self.batcher.predict(ids)
-        return self._lookup(ids)
+            # explicit ctx hand-off: the batcher worker is another
+            # thread, and the span must ride the request to reach it
+            return self.batcher.predict(ids, ctx=span)
+        if span is None:
+            return self._lookup(ids)
+        feature_before = span.component_seconds("feature")
+        t0 = time.perf_counter()
+        rows = self._lookup(ids)
+        elapsed = time.perf_counter() - t0
+        # feature-gather time recorded inside this interval is its own
+        # component; subtract it so components stay non-overlapping
+        feature_during = span.component_seconds("feature") - feature_before
+        span.add_component("compute", max(0.0, elapsed - feature_during))
+        span.child_complete(
+            "engine.predict", elapsed, cat="serving", rows=int(ids.size)
+        )
+        return rows
 
     def predict_logits(self, vertex_ids) -> np.ndarray:
         """One logit row per requested vertex (request order preserved)."""
@@ -171,7 +195,13 @@ class PredictionService:
             self.num_requests += 1
         if ids.size == 0:
             return np.zeros((0, self.engine.dataset.num_classes), dtype=np.float32)
+        span = current_span()
+        t_gate = time.perf_counter()
         with self._gate.read():
+            if span is not None:
+                # gate component: how long the read side waited out a
+                # writer (≈0 outside update windows)
+                span.add_component("gate", time.perf_counter() - t_gate)
             if self.cache is None:
                 return self._compute(ids)
             # a table rewrite (precompute or refresher update) invalidates
@@ -179,7 +209,15 @@ class PredictionService:
             if self.engine.version != self._cached_version:
                 self.cache.reset()
                 self._cached_version = self.engine.version
+            t_probe = time.perf_counter()
             found, missing = self.cache.get_many(ids)
+            if span is not None:
+                span.child_complete(
+                    "cache.probe", time.perf_counter() - t_probe, cat="serving",
+                    lookups=int(ids.size),
+                    hits=int(ids.size - missing.size),
+                    misses=int(missing.size),
+                )
             if missing.size:
                 rows = self._compute(missing)
                 self.cache.put_many(missing, rows)
@@ -193,7 +231,17 @@ class PredictionService:
     def topk(self, vertex_ids, k: int = 5) -> Tuple[np.ndarray, np.ndarray]:
         """Top-``k`` ``(classes, scores)`` per requested vertex, derived
         from the (possibly cached) logit rows."""
-        return topk_rows(self.predict_logits(vertex_ids), k)
+        logits = self.predict_logits(vertex_ids)
+        span = current_span()
+        if span is None:
+            return topk_rows(logits, k)
+        t0 = time.perf_counter()
+        out = topk_rows(logits, k)
+        span.child_complete(
+            "engine.topk", time.perf_counter() - t0, cat="serving",
+            k=int(k), rows=int(logits.shape[0]),
+        )
+        return out
 
     # -- updates ---------------------------------------------------------------
 
@@ -300,8 +348,17 @@ class _PredictionHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _reply_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def do_GET(self) -> None:
-        if self.path == "/healthz":
+        path, _, query = self.path.partition("?")
+        if path == "/healthz":
             health = self.frontend.healthz()
             if health["status"] == "ok":
                 self._reply(200, health)
@@ -309,10 +366,24 @@ class _PredictionHandler(BaseHTTPRequestHandler):
                 self._reply(
                     503, health, retry_after_s=self.frontend.retry_after_s
                 )
-        elif self.path == "/stats":
+        elif path == "/stats":
             self._reply(200, self.service.stats())
-        elif self.path == "/metrics":
-            self._reply(200, self.frontend.metrics_snapshot())
+        elif path == "/metrics":
+            fmt = parse_qs(query).get("format", ["json"])[0]
+            if fmt == "prom":
+                # the registry view; the JSON body below stays the
+                # frontend snapshot bit-for-bit
+                self._reply_text(
+                    200,
+                    render_prometheus(self.server.registry.collect()),  # type: ignore[attr-defined]
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif fmt == "json":
+                self._reply(200, self.frontend.metrics_snapshot())
+            else:
+                self._reply(400, {"error": f"unknown metrics format {fmt!r}"})
+        elif path == "/trace":
+            self._reply(200, chrome_trace(self.frontend.tracer.export()))
         else:
             self._reply(404, {"error": f"unknown path {self.path}"})
 
@@ -448,9 +519,15 @@ class PredictionServer:
         )
         if self.frontend.service is not service:
             raise ValueError("frontend must wrap the same service")
+        # one unified registry behind GET /metrics?format=prom: serving
+        # counters, batcher/cache, feature store, AP timer, comm worlds
+        self.registry = serving_registry(
+            frontend=self.frontend, service=service, tracer=self.frontend.tracer
+        )
         self.httpd = ThreadingHTTPServer((host, port), _PredictionHandler)
         self.httpd.service = service  # type: ignore[attr-defined]
         self.httpd.frontend = self.frontend  # type: ignore[attr-defined]
+        self.httpd.registry = self.registry  # type: ignore[attr-defined]
         self.httpd.verbose = verbose  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 

@@ -121,6 +121,24 @@ def test_metrics_recorder_validation_and_window():
     assert ep["mean_ms"] == pytest.approx(4500.0)
 
 
+def test_empty_window_omits_percentile_keys():
+    """An endpoint with zero served requests reports *no* latency
+    quantiles rather than a fabricated 0.0 (which dashboards would read
+    as an impossibly fast server)."""
+    assert percentiles_ms([]) == {}
+    m = ServingMetrics()
+    for _ in range(3):
+        m.record("predict", "rejected_queue_full", latency_s=0.0001)
+    ep = m.snapshot()["endpoints"]["predict"]
+    assert ep["rejected_queue_full"] == 3
+    assert "p50_ms" not in ep and "p99_ms" not in ep
+    # one served request brings the keys back
+    m.record("predict", "ok", latency_s=0.050)
+    ep = m.snapshot()["endpoints"]["predict"]
+    assert ep["p50_ms"] == pytest.approx(50.0)
+    assert ep["p99_ms"] == pytest.approx(50.0)
+
+
 def test_rejections_do_not_pollute_latency_quantiles():
     m = ServingMetrics()
     m.record("predict", "ok", latency_s=0.100)
